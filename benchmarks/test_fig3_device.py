@@ -1,0 +1,40 @@
+"""Fig 3 — NVMe device characterization benchmark."""
+
+from repro.bench.experiments import fig3_device
+from repro.bench.report import print_series
+
+
+def test_fig3_device(benchmark, record_report):
+    out = record_report("fig3_device")
+
+    def run():
+        qds, iops_series, latency_series = fig3_device.run_fig3a_b(duration_us=30_000)
+        cycles, c_iops, c_latency = fig3_device.run_fig3c(duration_us=30_000)
+        return qds, iops_series, latency_series, cycles, c_iops, c_latency
+
+    qds, iops_series, latency_series, cycles, c_iops, c_latency = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_series("Fig 3(a) IOPS vs queue depth", "qd", qds, iops_series, out=out)
+    print_series("Fig 3(b) latency vs queue depth", "qd", qds, latency_series, out=out)
+    print_series("Fig 3(c) IOPS vs probe cycle", "cycle", cycles, c_iops, out=out)
+    print_series("Fig 3(c) latency vs probe cycle", "cycle", cycles, c_latency, out=out)
+    out.save()
+
+    reads = iops_series["write=0%"]
+    writes = iops_series["write=100%"]
+    # (a) queue depth dominates: >10x IOPS from QD1 to saturation
+    assert max(reads) / reads[0] > 10
+    # writes are slower than reads at every depth
+    assert all(w < r for w, r in zip(writes, reads))
+    # (b) latency grows once channels saturate
+    lat_reads = latency_series["write=0%"]
+    assert lat_reads[-1] > lat_reads[0] * 3
+    # (c) probing too often and too rarely both lose IOPS
+    iops_curve = c_iops["iops"]
+    peak = max(iops_curve)
+    assert iops_curve[0] < peak          # cycle ~0 is worse than the best
+    assert iops_curve[-1] < peak * 0.75  # cycle 200us is clearly worse
+    # (c) latency grows with long probe cycles
+    lat_curve = c_latency["latency_us"]
+    assert lat_curve[-1] > min(lat_curve) * 1.5

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""The polled-mode asynchronous paradigm applied to an LSM store.
+
+The paper closes §III-C noting that applying its execution model to an
+LSM tree is future work.  `repro.palsm` implements it: one polled
+working thread interleaves user gets/puts with WAL group commits,
+memtable flushes and compactions — a compaction's dozens of page reads
+and writes are all in flight on the device at once while user
+operations keep completing between them.
+
+This example runs a write-heavy stream, watches flushes/compactions
+happen *during* the workload (not as stalls), and compares against the
+synchronous 32-thread LSM on the same machine.
+
+Run:  python examples/async_lsm.py
+"""
+
+import random
+
+from repro.baselines.io_service import DedicatedIoService
+from repro.baselines.lsm import LsmAccessor, LsmConfig, LsmStore
+from repro.baselines.runner import BaselineRunner
+from repro.core.ops import insert_op, range_op, search_op
+from repro.core.source import ClosedLoopSource
+from repro.nvme.device import NvmeDevice, i3_nvme_profile
+from repro.nvme.driver import NvmeDriver
+from repro.palsm import AsyncLsmStore, PolledLsmWorker
+from repro.sched.naive import NaiveScheduling
+from repro.sim.engine import Engine
+from repro.simos.scheduler import SimOS, paper_testbed_profile
+
+
+def machine(seed=5):
+    engine = Engine(seed=seed)
+    simos = SimOS(engine, paper_testbed_profile())
+    device = NvmeDevice(engine, i3_nvme_profile())
+    return engine, simos, device, NvmeDriver(device)
+
+
+def make_ops(seed, n):
+    rng = random.Random(seed)
+    ops = []
+    for i in range(n):
+        roll = rng.random()
+        key = rng.randrange(0, 200_000)
+        if roll < 0.55:
+            ops.append(insert_op(key, key.to_bytes(8, "little")))
+        elif roll < 0.9:
+            ops.append(search_op(key))
+        else:
+            ops.append(range_op(key, key + 500, limit=32))
+    return ops
+
+
+def main():
+    n_ops = 6_000
+
+    print("PA-LSM: one polled worker ...")
+    engine, simos, device, driver = machine()
+    store = AsyncLsmStore(device, persistence="strong", memtable_entries=500)
+    worker = PolledLsmWorker(
+        simos, driver, store, NaiveScheduling(), ClosedLoopSource([], window=32)
+    )
+    worker.run_operations(make_ops(1, n_ops), window=32)
+    pa_elapsed = engine.now / 1e9
+    print(
+        "  %6.0f ops/s | %.0f us mean | %d memtable flushes and %d"
+        " compactions interleaved with the workload | %.2f cores"
+        % (
+            worker.user_completed / pa_elapsed,
+            worker.latencies.mean_usec(),
+            store.flushes,
+            store.compactions,
+            simos.total_busy_ns() / engine.now,
+        )
+    )
+
+    print("synchronous LSM: 32 blocking threads ...")
+    engine, simos, device, driver = machine()
+    io_service = DedicatedIoService(driver)
+    sync_store = LsmStore(
+        device, io_service, LsmConfig(memtable_entries=500), persistence="strong"
+    )
+    runner = BaselineRunner(
+        simos, LsmAccessor(sync_store), make_ops(1, n_ops), 32, name="lsm"
+    )
+    runner.run_to_completion()
+    sync_elapsed = engine.now / 1e9
+    sync_tp = runner.user_completed / sync_elapsed
+    print(
+        "  %6.0f ops/s | %.0f us mean | %.2f cores"
+        % (sync_tp, runner.latencies.mean_usec(), simos.total_busy_ns() / engine.now)
+    )
+
+    pa_tp = worker.user_completed / pa_elapsed
+    print(
+        "\nThe paradigm transfers: %.1fx the throughput on one core —"
+        " a per-operation WAL flush parks a state machine instead of"
+        " blocking a thread." % (pa_tp / sync_tp)
+    )
+
+
+if __name__ == "__main__":
+    main()

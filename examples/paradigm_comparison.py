@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The paper's headline experiment, self-contained.
+
+Runs the same YCSB-style workload through (a) PA-Tree's single
+polled-mode asynchronous working thread, and (b) the traditional
+synchronous paradigm with 1 / 8 / 32 blocking worker threads —
+dedicated queue pairs, semaphore latches — on an identical simulated
+machine, then prints the comparison the paper's Fig 7/8 and Table I
+boil down to.
+
+Run:  python examples/paradigm_comparison.py
+"""
+
+from repro.bench.report import print_table
+from repro.bench.runner import WorkloadSpec, run_pa, run_sync_baseline
+
+
+def main():
+    spec = WorkloadSpec(kind="ycsb", n_keys=20_000, n_ops=2_500, mix="default")
+
+    print("running PA-Tree (1 working thread) ...")
+    rows = [run_pa(spec, seed=5)]
+    for threads in (1, 8, 32):
+        print("running dedicated baseline with %d threads ..." % threads)
+        rows.append(run_sync_baseline(spec, "dedicated", threads, seed=5))
+
+    print_table(
+        "Polled-mode asynchronous vs synchronous execution",
+        [
+            ("approach", "approach"),
+            ("threads", "threads"),
+            ("ops/s", "throughput_ops"),
+            ("mean lat (us)", "mean_latency_us"),
+            ("IOPS", "iops"),
+            ("outstanding I/Os", "outstanding_avg"),
+            ("CPU cores", "cores_used"),
+            ("ctx switches", "context_switches"),
+        ],
+        rows,
+    )
+
+    pa = rows[0]
+    best = max(rows[1:], key=lambda r: r["throughput_ops"])
+    print(
+        "PA-Tree's single thread delivers %.1fx the best baseline's"
+        " throughput while using %.1fx less CPU."
+        % (
+            pa["throughput_ops"] / best["throughput_ops"],
+            best["cores_used"] / pa["cores_used"],
+        )
+    )
+    print(
+        "The mechanism: PA keeps ~%.0f I/Os outstanding from one thread"
+        " (device saturated at %.0f IOPS); the blocking paradigm"
+        " manages only ~%.0f outstanding even with %d threads."
+        % (
+            pa["outstanding_avg"],
+            pa["iops"],
+            best["outstanding_avg"],
+            best["threads"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

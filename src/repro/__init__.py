@@ -1,0 +1,53 @@
+"""PA-Tree: Polled-Mode Asynchronous B+ Tree for NVMe (ICDE 2020).
+
+A full reproduction of Wang et al.'s PA-Tree on a deterministic
+discrete-event simulator: the polled-mode asynchronous execution
+paradigm, workload-aware scheduling (probe model, prioritized
+execution, CPU yielding), strong/weak persistent buffering, the
+shared/dedicated synchronous baselines, Blink-tree, LCB-tree and a
+LevelDB-like LSM store, plus the paper's full evaluation suite.
+
+Quick start::
+
+    from repro import PATreeSession
+
+    session = PATreeSession(seed=7)
+    session.bulk_load((k, k.to_bytes(8, "little")) for k in range(1, 10_001))
+    session.insert(123_456, b"hello!!" + b"\\x00")
+    assert session.search(123_456) is not None
+"""
+
+from repro.api import AsyncLsmSession, PATreeSession, SimEnvironment
+from repro.core import (
+    PERSISTENCE_STRONG,
+    PERSISTENCE_WEAK,
+    PaTree,
+    PaTreeEngine,
+    delete_op,
+    insert_op,
+    range_op,
+    search_op,
+    sync_op,
+    update_op,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PATreeSession",
+    "AsyncLsmSession",
+    "SimEnvironment",
+    "PaTree",
+    "PaTreeEngine",
+    "ReproError",
+    "PERSISTENCE_STRONG",
+    "PERSISTENCE_WEAK",
+    "search_op",
+    "range_op",
+    "insert_op",
+    "update_op",
+    "delete_op",
+    "sync_op",
+    "__version__",
+]

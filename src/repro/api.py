@@ -1,0 +1,266 @@
+"""Public synchronous facade.
+
+Most users want a B+ tree they can call, not a simulation they must
+wire: :class:`PATreeSession` packages the simulation engine, OS model,
+NVMe device, tree, buffer and scheduler behind blocking calls.  Each
+call (or batch) drives the discrete-event simulation until the
+operations complete, then returns their results — so examples read
+like ordinary database code while every access still flows through the
+full polled-mode asynchronous machinery.
+
+For experiments that need explicit control (custom policies, baseline
+paradigms, open-loop arrival), use the underlying pieces directly; the
+benchmark harness in ``repro.bench`` shows how.
+"""
+
+from repro.buffer import ReadOnlyBuffer, ReadWriteBuffer
+from repro.core.engine import (
+    PERSISTENCE_STRONG,
+    PERSISTENCE_WEAK,
+    PaTreeEngine,
+)
+from repro.core.ops import (
+    delete_op,
+    insert_op,
+    range_op,
+    search_op,
+    sync_op,
+    update_op,
+)
+from repro.core.source import ClosedLoopSource
+from repro.core.tree import PaTree
+from repro.errors import ReproError
+from repro.nvme.device import NvmeDevice, i3_nvme_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sched.naive import NaiveScheduling
+from repro.sched.probe_model import cached_probe_model
+from repro.sched.workload_aware import WorkloadAwareScheduling
+from repro.sim.engine import Engine
+from repro.simos.scheduler import SimOS, paper_testbed_profile
+
+
+class SimEnvironment:
+    """One simulated machine: event engine, OS, NVMe device, driver."""
+
+    def __init__(self, seed=0, device_profile=None, os_profile=None):
+        self.engine = Engine(seed=seed)
+        self.os = SimOS(self.engine, os_profile or paper_testbed_profile())
+        self.device_profile = device_profile or i3_nvme_profile()
+        self.device = NvmeDevice(self.engine, self.device_profile)
+        self.driver = NvmeDriver(self.device)
+
+    @property
+    def now_usec(self):
+        return self.engine.clock.now_usec
+
+
+class PATreeSession:
+    """Blocking convenience wrapper around a PA-Tree on one device.
+
+    Parameters
+    ----------
+    seed:
+        Simulation seed (full determinism).
+    payload_size:
+        Bytes per value (8 by default, as in the paper's YCSB setup).
+    persistence:
+        ``"strong"`` (every update durable on completion; read-only
+        buffer) or ``"weak"`` (write-back buffer + explicit ``sync``).
+    buffer_pages:
+        Buffer capacity in pages; 0 disables buffering (strong mode
+        only).
+    scheduler:
+        ``"workload_aware"`` (Algorithm 2; trains/caches the probe
+        model on first use) or ``"naive"`` (Algorithm 1).
+    window:
+        Closed-loop in-flight window — how many concurrent callers the
+        session models.
+    """
+
+    def __init__(
+        self,
+        seed=0,
+        payload_size=8,
+        persistence=PERSISTENCE_STRONG,
+        buffer_pages=4096,
+        scheduler="workload_aware",
+        window=64,
+        device_profile=None,
+        os_profile=None,
+    ):
+        self.env = SimEnvironment(seed, device_profile, os_profile)
+        self.window = window
+        self.tree = PaTree.create(self.env.device, payload_size=payload_size)
+
+        if persistence == PERSISTENCE_WEAK:
+            if buffer_pages <= 0:
+                raise ReproError("weak persistence requires a buffer")
+            buffer = ReadWriteBuffer(buffer_pages)
+        elif buffer_pages > 0:
+            buffer = ReadOnlyBuffer(buffer_pages)
+        else:
+            buffer = None
+
+        if scheduler == "workload_aware":
+            model = cached_probe_model(self.env.device_profile)
+            policy = WorkloadAwareScheduling(model)
+        elif scheduler == "naive":
+            policy = NaiveScheduling()
+        else:
+            raise ReproError("unknown scheduler %r" % (scheduler,))
+
+        self.pa_engine = PaTreeEngine(
+            self.env.os,
+            self.env.driver,
+            self.tree,
+            policy,
+            source=ClosedLoopSource([], window=window),
+            buffer=buffer,
+            persistence=persistence,
+        )
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items, fill_factor=0.7):
+        """Offline bottom-up build from sorted unique (key, bytes) pairs."""
+        self.tree.bulk_load(items, fill_factor)
+
+    def execute(self, operations):
+        """Run a batch of operations to completion; returns them."""
+        operations = list(operations)
+        engine = self.pa_engine
+        engine.source = ClosedLoopSource(operations, window=self.window)
+        engine._shutdown = False
+        engine.run_to_completion()
+        return operations
+
+    def search(self, key):
+        """Point lookup; returns the payload bytes or None."""
+        (op,) = self.execute([search_op(key)])
+        return op.result
+
+    def range_search(self, low, high, limit=0):
+        """All (key, payload) pairs with low <= key <= high."""
+        (op,) = self.execute([range_op(low, high, limit=limit)])
+        return op.result
+
+    def insert(self, key, payload):
+        """Upsert; returns True when the key was new."""
+        (op,) = self.execute([insert_op(key, payload)])
+        return op.result
+
+    def update(self, key, payload):
+        """Overwrite an existing key; returns True when found."""
+        (op,) = self.execute([update_op(key, payload)])
+        return op.result
+
+    def delete(self, key):
+        """Remove a key; returns True when it was present."""
+        (op,) = self.execute([delete_op(key)])
+        return op.result
+
+    def sync(self):
+        """Flush buffered updates (weak persistence); returns count."""
+        (op,) = self.execute([sync_op()])
+        return op.result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self.tree.meta.key_count
+
+    def stats(self):
+        """Engine + device statistics for the session so far."""
+        stats = self.pa_engine.stats()
+        device = self.env.device
+        stats["device_reads"] = device.reads_completed.value
+        stats["device_writes"] = device.writes_completed.value
+        stats["virtual_time_us"] = self.env.now_usec
+        return stats
+
+    def validate(self):
+        """Verify every on-media structural invariant of the tree."""
+        return self.tree.validate()
+
+
+class AsyncLsmSession:
+    """Blocking convenience wrapper around the PA-LSM extension.
+
+    The same facade shape as :class:`PATreeSession`, over the
+    polled-mode asynchronous LSM store (``repro.palsm``): point and
+    range reads, upserts, deletes and ``sync`` against one simulated
+    device, with memtable flushes and compactions interleaved by the
+    single polled working thread.
+    """
+
+    def __init__(
+        self,
+        seed=0,
+        persistence=PERSISTENCE_STRONG,
+        scheduler="naive",
+        window=64,
+        memtable_entries=1_000,
+        device_profile=None,
+        os_profile=None,
+    ):
+        from repro.palsm import AsyncLsmStore, PolledLsmWorker
+
+        self.env = SimEnvironment(seed, device_profile, os_profile)
+        self.window = window
+        self.store = AsyncLsmStore(
+            self.env.device,
+            persistence=persistence,
+            memtable_entries=memtable_entries,
+        )
+        if scheduler == "workload_aware":
+            policy = WorkloadAwareScheduling(
+                cached_probe_model(self.env.device_profile)
+            )
+        elif scheduler == "naive":
+            policy = NaiveScheduling()
+        else:
+            raise ReproError("unknown scheduler %r" % (scheduler,))
+        self.worker = PolledLsmWorker(
+            self.env.os,
+            self.env.driver,
+            self.store,
+            policy,
+            ClosedLoopSource([], window=window),
+        )
+
+    def bulk_load(self, items):
+        """Offline build of level-1 runs from sorted unique items."""
+        self.store.bulk_load(sorted(items))
+        self.store.resize_block_cache(max(self.store.data_pages() // 10, 64))
+
+    def execute(self, operations):
+        return self.worker.run_operations(list(operations), window=self.window)
+
+    def put(self, key, payload):
+        (op,) = self.execute([insert_op(key, payload)])
+        return op.result
+
+    def get(self, key):
+        (op,) = self.execute([search_op(key)])
+        return op.result
+
+    def delete(self, key):
+        (op,) = self.execute([delete_op(key)])
+        return op.result
+
+    def range_search(self, low, high, limit=0):
+        (op,) = self.execute([range_op(low, high, limit=limit)])
+        return op.result
+
+    def sync(self):
+        (op,) = self.execute([sync_op()])
+        return op.result
+
+    def stats(self):
+        stats = self.worker.stats()
+        stats["virtual_time_us"] = self.env.now_usec
+        return stats

@@ -1,0 +1,337 @@
+"""Blink-tree baseline (Lehman & Yao), synchronous paradigm.
+
+The paper compares against a Blink-tree using CAS-style lock-free
+reads.  The defining properties reproduced here:
+
+* every node carries a right-link (``next_id``) and a fence
+  (``high_key``); a reader that lands on a node whose fence is below
+  its search key simply chases right — so **reads take no latches at
+  all** (page reads are atomic snapshots),
+* writers latch only the leaf (then parent, one level at a time,
+  bottom-up) — no latch coupling down the tree,
+* deletes never merge (classic Blink lazy deletion).
+
+It shares the node format, blocking I/O services and buffer machinery
+with the other baselines, so the comparison isolates the concurrency
+protocol and execution paradigm.
+"""
+
+from repro.core.latch import EXCLUSIVE
+from repro.core.meta import META_PAGE
+from repro.core.node import NO_PAGE, Node
+from repro.core.ops import DELETE, INSERT, RANGE, SEARCH, SYNC, UPDATE
+from repro.errors import TreeError
+from repro.sim.metrics import CPU_REAL_WORK
+from repro.simos.sync import Mutex
+from repro.simos.thread import Cpu, SemPost, SemWait
+
+
+class BlinkTreeAccessor:
+    """Latch-free-read Blink-tree over the shared blocking substrate."""
+
+    def __init__(self, tree, io_service, latches, buffer=None, persistence="strong"):
+        if persistence == "weak" and (buffer is None or buffer.mode != "weak"):
+            raise TreeError("weak persistence requires a ReadWriteBuffer")
+        self.tree = tree
+        self.io = io_service
+        self.latches = latches
+        self.buffer = buffer
+        self.persistence = persistence
+        self._buffer_mutex = Mutex("blink-buffer") if buffer is not None else None
+        self._alloc_mutex = Mutex("blink-alloc")
+        self._flush_locks = {}  # page_id -> Mutex (serializes flushes)
+        self._meta_mutex = Mutex("blink-meta")
+
+    # ------------------------------------------------------------------
+    # shared plumbing (same cost structure as SyncTreeAccessor)
+    # ------------------------------------------------------------------
+
+    def _read_node(self, tls, page_id):
+        costs = self.tree.costs
+        if self.buffer is not None:
+            yield SemWait(self._buffer_mutex)
+            yield Cpu(costs.buffer_lookup_ns, CPU_REAL_WORK)
+            data = self.buffer.lookup(page_id)
+            yield SemPost(self._buffer_mutex)
+            if data is not None:
+                yield Cpu(costs.node_parse_ns, CPU_REAL_WORK)
+                return Node.from_bytes(self.tree.config, page_id, data)
+        data = yield from self.io.read(tls, page_id)
+        if self.buffer is not None:
+            yield SemWait(self._buffer_mutex)
+            evicted = self.buffer.install(page_id, data)
+            yield SemPost(self._buffer_mutex)
+            yield from self._flush_evicted(tls, evicted)
+        yield Cpu(costs.node_parse_ns, CPU_REAL_WORK)
+        return Node.from_bytes(self.tree.config, page_id, data)
+
+    def _flush_evicted(self, tls, evicted):
+        """Flush dirty evictions with per-page ordering.
+
+        Two threads may hold flushes for the same page (evict, rewrite,
+        evict again); without serialization the older image could land
+        on media last.  A per-page mutex serializes the device writes,
+        and each flusher writes the *newest* in-flight bytes, so the
+        final media content is always the latest version.
+        """
+        for victim_id, victim_data in evicted:
+            yield SemWait(self._buffer_mutex)
+            lock = self._flush_locks.get(victim_id)
+            if lock is None:
+                lock = self._flush_locks[victim_id] = Mutex("flush")
+            yield SemPost(self._buffer_mutex)
+            yield SemWait(lock)
+            latest = self.buffer.in_flight_data(victim_id)
+            yield from self.io.write(
+                tls, victim_id, latest if latest is not None else victim_data
+            )
+            yield SemWait(self._buffer_mutex)
+            self.buffer.flush_done(victim_id)
+            yield SemPost(self._buffer_mutex)
+            yield SemPost(lock)
+
+    def _write_page(self, tls, page_id, data):
+        if self.persistence == "weak":
+            yield SemWait(self._buffer_mutex)
+            evicted = self.buffer.write(page_id, data)
+            yield SemPost(self._buffer_mutex)
+            yield from self._flush_evicted(tls, evicted)
+            return
+        yield from self.io.write(tls, page_id, data)
+        if self.buffer is not None:
+            yield SemWait(self._buffer_mutex)
+            self.buffer.install(page_id, data)
+            yield SemPost(self._buffer_mutex)
+
+    def _write_node(self, tls, node):
+        yield Cpu(self.tree.costs.node_serialize_ns, CPU_REAL_WORK)
+        yield from self._write_page(tls, node.page_id, node.to_bytes())
+
+    def _allocate(self):
+        yield SemWait(self._alloc_mutex)
+        page_id = self.tree.allocator.allocate()
+        yield SemPost(self._alloc_mutex)
+        return page_id
+
+    # ------------------------------------------------------------------
+    # traversal helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _needs_right_move(node, key):
+        return (
+            node.high_key is not None
+            and key >= node.high_key
+            and node.next_id != NO_PAGE
+        )
+
+    def _chase_right(self, tls, node, key):
+        """Follow right-links until ``key`` is within the node's fence."""
+        while self._needs_right_move(node, key):
+            node = yield from self._read_node(tls, node.next_id)
+            yield Cpu(self.tree.costs.node_search_ns, CPU_REAL_WORK)
+        return node
+
+    def _descend_to_leaf(self, tls, key):
+        """Latch-free descent; returns (leaf_node, ancestor_page_ids)."""
+        costs = self.tree.costs
+        ancestors = []
+        node = yield from self._read_node(tls, self.tree.meta.root_page)
+        yield Cpu(costs.node_search_ns, CPU_REAL_WORK)
+        while True:
+            node = yield from self._chase_right(tls, node, key)
+            if node.is_leaf:
+                return node, ancestors
+            ancestors.append(node.page_id)
+            node = yield from self._read_node(tls, node.child_for(key))
+            yield Cpu(costs.node_search_ns, CPU_REAL_WORK)
+
+    def _latch_node_for_key(self, tls, start_id, key):
+        """Latch a node, re-read it, and move right (with latch hand-over)
+        until the key fits — the Blink writer protocol."""
+        page_id = start_id
+        yield from self.latches.acquire(page_id, EXCLUSIVE)
+        node = yield from self._read_node(tls, page_id)
+        while self._needs_right_move(node, key):
+            next_id = node.next_id
+            yield from self.latches.acquire(next_id, EXCLUSIVE)
+            yield from self.latches.release(page_id, EXCLUSIVE)
+            page_id = next_id
+            node = yield from self._read_node(tls, page_id)
+        return node
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def execute(self, tls, op):
+        if op.kind == SEARCH:
+            yield from self._search(tls, op)
+        elif op.kind == RANGE:
+            yield from self._range(tls, op)
+        elif op.kind == INSERT:
+            yield from self._insert(tls, op)
+        elif op.kind == UPDATE:
+            yield from self._leaf_write(tls, op, update_only=True)
+        elif op.kind == DELETE:
+            yield from self._delete(tls, op)
+        elif op.kind == SYNC:
+            yield from self._sync(tls, op)
+        else:
+            raise TreeError("unknown operation kind %r" % (op.kind,))
+
+    def _search(self, tls, op):
+        leaf, _ancestors = yield from self._descend_to_leaf(tls, op.key)
+        op.result = leaf.leaf_lookup(op.key)
+
+    def _range(self, tls, op):
+        costs = self.tree.costs
+        results = []
+        node, _ancestors = yield from self._descend_to_leaf(tls, op.key)
+        while True:
+            index = node.leaf_range_from(op.key)
+            truncated = False
+            while index < node.count and node.keys[index] <= op.high_key:
+                results.append((node.keys[index], node.values[index]))
+                index += 1
+                if op.limit and len(results) >= op.limit:
+                    truncated = True
+                    break
+            exhausted = node.count > 0 and node.keys[-1] >= op.high_key
+            if truncated or exhausted or node.next_id == NO_PAGE:
+                op.result = results
+                return
+            node = yield from self._read_node(tls, node.next_id)
+            yield Cpu(costs.node_search_ns, CPU_REAL_WORK)
+
+    def _leaf_write(self, tls, op, update_only):
+        """Update (and simple non-splitting insert) path."""
+        costs = self.tree.costs
+        leaf_hint, _ancestors = yield from self._descend_to_leaf(tls, op.key)
+        leaf = yield from self._latch_node_for_key(tls, leaf_hint.page_id, op.key)
+        yield Cpu(costs.leaf_update_ns, CPU_REAL_WORK)
+        found = leaf.leaf_lookup(op.key) is not None
+        if update_only:
+            if found:
+                leaf.leaf_insert(op.key, op.payload)
+                yield from self._write_node(tls, leaf)
+            op.result = found
+            yield from self.latches.release(leaf.page_id, EXCLUSIVE)
+            return leaf, found
+        return leaf, found
+
+    def _insert(self, tls, op):
+        costs = self.tree.costs
+        tree = self.tree
+        leaf_hint, ancestors = yield from self._descend_to_leaf(tls, op.key)
+        leaf = yield from self._latch_node_for_key(tls, leaf_hint.page_id, op.key)
+        yield Cpu(costs.leaf_update_ns, CPU_REAL_WORK)
+
+        if not leaf.is_full or leaf.leaf_lookup(op.key) is not None:
+            inserted = leaf.leaf_insert(op.key, op.payload)
+            op.result = inserted
+            if inserted:
+                tree.meta.key_count += 1
+            yield from self._write_node(tls, leaf)
+            yield from self.latches.release(leaf.page_id, EXCLUSIVE)
+            return
+
+        # Split the leaf, then insert separators bottom-up.
+        yield Cpu(costs.split_ns, CPU_REAL_WORK)
+        right_id = yield from self._allocate()
+        right, separator = leaf.split(right_id)
+        if op.key >= separator:
+            right.leaf_insert(op.key, op.payload)
+        else:
+            leaf.leaf_insert(op.key, op.payload)
+        tree.meta.key_count += 1
+        op.result = True
+        yield from self._write_node(tls, right)  # right sibling durable first
+        yield from self._write_node(tls, leaf)
+        yield from self.latches.release(leaf.page_id, EXCLUSIVE)
+
+        child_id = leaf.page_id
+        child_level = 0
+        while True:
+            if ancestors:
+                parent_start = ancestors.pop()
+            else:
+                done = yield from self._maybe_split_root(
+                    tls, child_level, separator, right_id
+                )
+                if done:
+                    return
+                # a concurrent root change happened; re-descend for a
+                # parent.  ``fresh`` holds ancestor ids root-first, so
+                # the ancestor at level L sits L entries from the end
+                # (level 1 is last); we need the level child_level + 1.
+                _leaf, fresh = yield from self._descend_to_leaf(tls, separator)
+                if len(fresh) < child_level + 1:
+                    continue  # tree still too short; retry the root path
+                parent_start = fresh[-(child_level + 1)]
+            parent = yield from self._latch_node_for_key(tls, parent_start, separator)
+            yield Cpu(costs.leaf_update_ns, CPU_REAL_WORK)
+            if not parent.is_full:
+                parent.inner_insert(separator, right_id)
+                yield from self._write_node(tls, parent)
+                yield from self.latches.release(parent.page_id, EXCLUSIVE)
+                return
+            yield Cpu(costs.split_ns, CPU_REAL_WORK)
+            parent_right_id = yield from self._allocate()
+            parent_right, parent_sep = parent.split(parent_right_id)
+            if separator > parent_sep:
+                parent_right.inner_insert(separator, right_id)
+            else:
+                parent.inner_insert(separator, right_id)
+            yield from self._write_node(tls, parent_right)
+            yield from self._write_node(tls, parent)
+            yield from self.latches.release(parent.page_id, EXCLUSIVE)
+            child_id = parent.page_id
+            child_level = parent.level
+            separator = parent_sep
+            right_id = parent_right_id
+
+    def _maybe_split_root(self, tls, child_level, separator, right_id):
+        """Grow the tree when the split reached the current root."""
+        tree = self.tree
+        yield SemWait(self._meta_mutex)
+        if tree.meta.height - 1 != child_level:
+            # someone already grew the tree; a parent level exists now
+            yield SemPost(self._meta_mutex)
+            return False
+        new_root_id = yield from self._allocate()
+        new_root = Node.new_inner(tree.config, new_root_id, child_level + 1)
+        old_root_id = tree.meta.root_page
+        new_root.keys = [separator]
+        new_root.children = [old_root_id, right_id]
+        yield from self._write_node(tls, new_root)
+        tree.meta.root_page = new_root_id
+        tree.meta.height += 1
+        yield Cpu(tree.costs.node_serialize_ns, CPU_REAL_WORK)
+        yield from self._write_page(tls, META_PAGE, tree.meta.to_bytes())
+        yield SemPost(self._meta_mutex)
+        return True
+
+    def _delete(self, tls, op):
+        costs = self.tree.costs
+        leaf_hint, _ancestors = yield from self._descend_to_leaf(tls, op.key)
+        leaf = yield from self._latch_node_for_key(tls, leaf_hint.page_id, op.key)
+        yield Cpu(costs.leaf_update_ns, CPU_REAL_WORK)
+        removed = leaf.leaf_delete(op.key)
+        op.result = removed
+        if removed:
+            self.tree.meta.key_count -= 1
+            yield from self._write_node(tls, leaf)
+        yield from self.latches.release(leaf.page_id, EXCLUSIVE)
+
+    def _sync(self, tls, op):
+        if self.persistence == "strong" or self.buffer is None:
+            op.result = 0
+            return
+        yield SemWait(self._buffer_mutex)
+        flushing = self.buffer.take_dirty()
+        yield SemPost(self._buffer_mutex)
+        # reuse the ordered per-page flush path so a sync never races
+        # an in-flight eviction flush of the same page
+        yield from self._flush_evicted(tls, flushing)
+        op.result = len(flushing)

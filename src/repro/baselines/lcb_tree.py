@@ -1,0 +1,133 @@
+"""LCB-Tree baseline: a log-based consistent B+ tree.
+
+The paper's LCB-Tree reaches consistency through logging rather than
+in-place page persistence: updates append records to a write-ahead log
+and the modified pages stay in an in-memory delta table, written back
+to their home locations only at checkpoints.  Strong persistence
+flushes the log after every update (one small sequential write per
+operation); weak persistence flushes only filled log pages and on
+``sync()`` — amortizing many updates per device write.
+
+Implemented as a :class:`SyncTreeAccessor` subclass: identical tree
+algorithms and latch protocol, with the page-persistence layer swapped
+for log-append + delta-table + checkpoint.
+"""
+
+from repro.baselines.sync_tree import SyncTreeAccessor
+from repro.core.node import Node
+from repro.errors import TreeError
+from repro.sim.metrics import CPU_REAL_WORK
+from repro.simos.sync import Mutex
+from repro.simos.thread import Cpu, SemPost, SemWait
+from repro.storage.wal import WriteAheadLog
+
+
+class LcbTreeAccessor(SyncTreeAccessor):
+    """Log-based-consistency variant of the synchronous tree."""
+
+    def __init__(
+        self,
+        tree,
+        io_service,
+        latches,
+        buffer=None,
+        persistence="strong",
+        wal_base_lba=None,
+        wal_pages=65_536,
+        checkpoint_pages=2_048,
+    ):
+        # The base class validates buffer/persistence pairing for page
+        # write-back; LCB persists via the log instead, so a read-only
+        # buffer is fine in both modes.
+        super().__init__(tree, io_service, latches, buffer=buffer, persistence="strong")
+        if persistence not in ("strong", "weak"):
+            raise TreeError("unknown persistence %r" % (persistence,))
+        self.log_persistence = persistence
+        if wal_base_lba is None:
+            wal_base_lba = tree.device.profile.capacity_pages - wal_pages
+        self.wal = WriteAheadLog(
+            tree.config.page_size, base_lba=wal_base_lba, num_pages=wal_pages
+        )
+        self._wal_mutex = Mutex("lcb-wal")
+        self._delta_mutex = Mutex("lcb-delta")
+        self._delta = {}  # page_id -> latest page image
+        self.checkpoint_pages = checkpoint_pages
+        self.checkpoints = 0
+
+    # ------------------------------------------------------------------
+    # persistence layer overrides
+    # ------------------------------------------------------------------
+
+    def _read_node(self, tls, page_id):
+        yield SemWait(self._delta_mutex)
+        data = self._delta.get(page_id)
+        yield SemPost(self._delta_mutex)
+        if data is not None:
+            yield Cpu(self.tree.costs.node_parse_ns, CPU_REAL_WORK)
+            return Node.from_bytes(self.tree.config, page_id, data)
+        node = yield from super()._read_node(tls, page_id)
+        return node
+
+    def _write_page(self, tls, page_id, data):
+        """Log the update; keep the page image in the delta table."""
+        yield SemWait(self._delta_mutex)
+        self._delta[page_id] = data
+        delta_size = len(self._delta)
+        yield SemPost(self._delta_mutex)
+
+        record = page_id.to_bytes(8, "little") + data[:24]  # logical record
+        yield SemWait(self._wal_mutex)
+        self.wal.append(record)
+        include_partial = self.log_persistence == "strong"
+        writes, flush_lsn = self.wal.take_flushable(include_partial)
+        yield SemPost(self._wal_mutex)
+        for lba, image in writes:
+            yield from self.io.write(tls, lba, image)
+        if writes:
+            self.wal.mark_durable(flush_lsn)
+
+        if delta_size >= self.checkpoint_pages:
+            yield from self._checkpoint(tls)
+
+    def _checkpoint(self, tls):
+        """Write the delta table back to home locations (amortized)."""
+        yield SemWait(self._delta_mutex)
+        if len(self._delta) < self.checkpoint_pages:
+            yield SemPost(self._delta_mutex)
+            return
+        self.checkpoints += 1
+        snapshot = list(self._delta.items())
+        yield SemPost(self._delta_mutex)
+        for page_id, data in snapshot:
+            yield from self.io.write(tls, page_id, data)
+            if self.buffer is not None:
+                yield SemWait(self._buffer_mutex)
+                self.buffer.install(page_id, data)
+                yield SemPost(self._buffer_mutex)
+        yield SemWait(self._delta_mutex)
+        for page_id, data in snapshot:
+            if self._delta.get(page_id) is data:
+                del self._delta[page_id]
+        yield SemPost(self._delta_mutex)
+
+    def materialize_delta(self):
+        """Apply the in-memory delta to the media (zero time).
+
+        Stands in for log replay: after a clean shutdown or recovery,
+        every logged update is reflected in the home pages.  Used by
+        validation and recovery inspection, not by the benchmarks.
+        """
+        for page_id, data in self._delta.items():
+            self.tree.device.raw_write(page_id, data)
+        self._delta.clear()
+
+    def _sync(self, tls, op):
+        """Flush the log tail (weak persistence group commit)."""
+        yield SemWait(self._wal_mutex)
+        writes, flush_lsn = self.wal.take_flushable(True)
+        yield SemPost(self._wal_mutex)
+        for lba, image in writes:
+            yield from self.io.write(tls, lba, image)
+        if writes:
+            self.wal.mark_durable(flush_lsn)
+        op.result = len(writes)

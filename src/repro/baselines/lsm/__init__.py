@@ -1,0 +1,19 @@
+"""LevelDB-like LSM store: memtable, WAL, leveled SSTables with
+compaction, Bloom filters and a block cache."""
+
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.baselines.lsm.memtable import MemTable
+from repro.baselines.lsm.sstable import SSTable, decode_page, encode_page, plan_pages
+from repro.baselines.lsm.store import LsmAccessor, LsmConfig, LsmStore
+
+__all__ = [
+    "BloomFilter",
+    "MemTable",
+    "SSTable",
+    "LsmStore",
+    "LsmConfig",
+    "LsmAccessor",
+    "encode_page",
+    "decode_page",
+    "plan_pages",
+]

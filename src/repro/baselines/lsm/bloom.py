@@ -1,0 +1,36 @@
+"""Bloom filters for SSTables.
+
+Per-table filters let point lookups skip tables that cannot contain
+the key — the standard LevelDB optimization, and important here
+because every skipped table saves a simulated device read.
+"""
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over u64 keys (double hashing)."""
+
+    __slots__ = ("n_bits", "k", "_bits")
+
+    def __init__(self, expected_keys, bits_per_key=10):
+        self.n_bits = max(64, expected_keys * bits_per_key)
+        self.k = max(1, min(8, int(round(bits_per_key * 0.69))))
+        self._bits = 0
+
+    @staticmethod
+    def _hash_pair(key):
+        h1 = (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        h2 = ((key ^ (key >> 33)) * 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFFFFFFFFFF
+        return h1, h2 | 1
+
+    def add(self, key):
+        h1, h2 = self._hash_pair(key)
+        for i in range(self.k):
+            self._bits |= 1 << ((h1 + i * h2) % self.n_bits)
+
+    def may_contain(self, key):
+        h1, h2 = self._hash_pair(key)
+        bits = self._bits
+        for i in range(self.k):
+            if not bits & (1 << ((h1 + i * h2) % self.n_bits)):
+                return False
+        return True

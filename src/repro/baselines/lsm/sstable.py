@@ -1,0 +1,144 @@
+"""Immutable sorted-run tables on the simulated device.
+
+Each SSTable owns a run of data pages; the per-page index (first key
+of each page) and the Bloom filter live in memory, as LevelDB keeps
+index/filter blocks cached.  Point lookups cost at most one device
+read (after a Bloom pass); range reads scan the overlapping pages.
+
+Data page layout::
+
+    header: magic u16 | count u16 | reserved u32
+    entry:  key u64 | flags u8 (bit0 = tombstone) | vlen u16 | value
+"""
+
+import bisect
+
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.errors import StorageError
+from repro.storage.layout import PageReader, PageWriter
+
+SST_MAGIC = 0x5354
+_PAGE_HEADER = 8
+_ENTRY_HEADER = 8 + 1 + 2
+_FLAG_TOMBSTONE = 1
+
+
+def encode_page(page_size, entries):
+    """Pack (key, value-or-None) entries into one page image."""
+    writer = PageWriter(page_size)
+    writer.u16(SST_MAGIC)
+    writer.u16(len(entries))
+    writer.u32(0)
+    for key, value in entries:
+        writer.u64(key)
+        if value is None:
+            writer.u8(_FLAG_TOMBSTONE)
+            writer.u16(0)
+        else:
+            writer.u8(0)
+            writer.u16(len(value))
+            writer.raw(value)
+    return writer.finish()
+
+
+def decode_page(image):
+    """Unpack a data page into (key, value-or-None) entries."""
+    reader = PageReader(image)
+    magic = reader.u16()
+    if magic != SST_MAGIC:
+        raise StorageError("bad SSTable page magic 0x%04x" % magic)
+    count = reader.u16()
+    reader.u32()
+    entries = []
+    for _ in range(count):
+        key = reader.u64()
+        flags = reader.u8()
+        vlen = reader.u16()
+        value = None if flags & _FLAG_TOMBSTONE else reader.raw(vlen)
+        if flags & _FLAG_TOMBSTONE:
+            reader.raw(vlen)  # no-op; vlen is 0 for tombstones
+        entries.append((key, value))
+    return entries
+
+
+def plan_pages(page_size, items):
+    """Group sorted (key, value-or-None) items into page-sized chunks."""
+    pages = []
+    current = []
+    used = _PAGE_HEADER
+    for key, value in items:
+        needed = _ENTRY_HEADER + (len(value) if value is not None else 0)
+        if needed + _PAGE_HEADER > page_size:
+            raise StorageError("LSM value of %d bytes exceeds page size" % needed)
+        if used + needed > page_size:
+            pages.append(current)
+            current = []
+            used = _PAGE_HEADER
+        current.append((key, value))
+        used += needed
+    if current:
+        pages.append(current)
+    return pages
+
+
+class SSTable:
+    """Metadata for one immutable on-device run."""
+
+    _next_id = 0
+
+    def __init__(self, page_lbas, first_keys, min_key, max_key, entry_count):
+        self.table_id = SSTable._next_id
+        SSTable._next_id += 1
+        self.page_lbas = page_lbas
+        self.first_keys = first_keys  # first key of each page
+        self.min_key = min_key
+        self.max_key = max_key
+        self.entry_count = entry_count
+        self.bloom = BloomFilter(max(entry_count, 1))
+
+    @classmethod
+    def plan(cls, page_size, items):
+        """Return (table, page_images) ready to be written.
+
+        ``items`` must be sorted by key and non-empty; values of None
+        are tombstones.  The caller allocates LBAs and performs the
+        writes (blocking or async, per its paradigm).
+        """
+        if not items:
+            raise StorageError("cannot build an empty SSTable")
+        chunks = plan_pages(page_size, items)
+        table = cls(
+            page_lbas=[None] * len(chunks),
+            first_keys=[chunk[0][0] for chunk in chunks],
+            min_key=items[0][0],
+            max_key=items[-1][0],
+            entry_count=len(items),
+        )
+        for key, _value in items:
+            table.bloom.add(key)
+        images = [encode_page(page_size, chunk) for chunk in chunks]
+        return table, images
+
+    def overlaps(self, low, high):
+        return not (high < self.min_key or low > self.max_key)
+
+    def page_index_for(self, key):
+        """Index of the single page that may contain ``key``, or None."""
+        if key < self.min_key or key > self.max_key:
+            return None
+        index = bisect.bisect_right(self.first_keys, key) - 1
+        return max(index, 0)
+
+    def page_range_for(self, low, high):
+        """(start, end) page-index range overlapping [low, high]."""
+        start = max(bisect.bisect_right(self.first_keys, low) - 1, 0)
+        end = bisect.bisect_right(self.first_keys, high)
+        return start, end
+
+    def __repr__(self):
+        return "SSTable(#%d, %d entries, [%d..%d])" % (
+            self.table_id,
+            self.entry_count,
+            self.min_key,
+            self.max_key,
+        )

@@ -1,0 +1,85 @@
+"""Multi-threaded baseline runner.
+
+Spawns ``n_threads`` simulated worker threads that pull operations
+from a shared queue and execute them synchronously through an accessor
+(:class:`~repro.baselines.sync_tree.SyncTreeAccessor`, the Blink/LCB
+variants, or the LSM store adapter).  This is the closed-loop shape of
+the paper's baseline evaluation: concurrency equals the thread count.
+
+Collects the same statistics the PA engine reports so experiment
+harnesses can compare the paradigms directly.
+"""
+
+from collections import deque
+
+from repro.core.ops import SYNC
+from repro.errors import BenchmarkError
+from repro.sim.metrics import Counter, LatencyRecorder
+from repro.simos.sync import Mutex
+from repro.simos.thread import SemPost, SemWait
+
+
+class BaselineRunner:
+    """Runs an operation list on N synchronous worker threads."""
+
+    def __init__(self, simos, accessor, operations, n_threads, name="baseline"):
+        if n_threads < 1:
+            raise BenchmarkError("need at least one worker thread")
+        self.simos = simos
+        self.engine = simos.engine
+        self.accessor = accessor
+        self.n_threads = n_threads
+        self.name = name
+        self._ops = deque(operations)
+        self._queue_mutex = Mutex("op-queue")
+        self.latencies = LatencyRecorder()
+        self.completed = Counter()
+        self.user_completed = 0
+        self.last_user_done_ns = 0
+        self.threads = []
+
+    def _worker_body(self, worker_index):
+        accessor = self.accessor
+        tls = accessor.io.register_thread()
+        while True:
+            yield SemWait(self._queue_mutex)
+            op = self._ops.popleft() if self._ops else None
+            yield SemPost(self._queue_mutex)
+            if op is None:
+                return
+            op.admit_ns = self.engine.now
+            yield from accessor.execute(tls, op)
+            op.done_ns = self.engine.now
+            self.latencies.record(op.latency_ns)
+            self.completed.add()
+            if op.kind != SYNC:
+                self.user_completed += 1
+                self.last_user_done_ns = op.done_ns
+
+    def start(self):
+        self.accessor.io.start(self.simos)
+        for index in range(self.n_threads):
+            thread = self.simos.spawn(
+                self._worker_body(index),
+                name="%s-w%d" % (self.name, index),
+                group=self.name,
+            )
+            self.threads.append(thread)
+
+    def run_to_completion(self, until_ns=None):
+        self.start()
+        self.engine.run(
+            until_ns=until_ns,
+            until=lambda: all(thread.done for thread in self.threads),
+        )
+        if not all(thread.done for thread in self.threads):
+            raise BenchmarkError(
+                "baseline %r did not finish (%d ops left)"
+                % (self.name, len(self._ops))
+            )
+        self.accessor.io.stop()
+        # let a shared-I/O daemon drain and exit
+        self.engine.run(until_ns=until_ns)
+
+    def worker_cpu_account(self):
+        return self.simos.cpu_account(self.name)

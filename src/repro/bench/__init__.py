@@ -1,0 +1,1 @@
+"""Benchmark harness: experiment runner, reporting, per-figure modules."""

@@ -1,0 +1,131 @@
+"""Command-line experiment runner.
+
+``python -m repro.bench <exhibit> [...]`` regenerates any of the
+paper's tables/figures without pytest, printing the text table.
+
+Examples::
+
+    python -m repro.bench list
+    python -m repro.bench fig3
+    python -m repro.bench fig7 --ops 2000
+    python -m repro.bench all --out results/
+"""
+
+import argparse
+import os
+import sys
+
+from repro.bench.experiments import (
+    fig3_device,
+    fig7_fig8,
+    fig10_probing,
+    fig11_dedicated_polling,
+    fig12_priority,
+    fig13_yielding,
+    fig14_buffering,
+    fig15_end_to_end,
+    table1_table2_fig9,
+)
+
+_EXHIBITS = {
+    "fig3": ("Fig 3: NVMe device characterization", lambda args, out: fig3_device.report(out=out)),
+    "fig7": (
+        "Fig 7/8: throughput + latency vs threads",
+        lambda args, out: fig7_fig8.report(
+            fig7_fig8.run_grid(n_ops=args.ops or 2_500), out=out
+        ),
+    ),
+    "table1": (
+        "Table I: runtime statistics",
+        lambda args, out: table1_table2_fig9.report_table1(out=out),
+    ),
+    "table2": (
+        "Table II: CPU cycles per operation",
+        lambda args, out: table1_table2_fig9.report_table2(out=out),
+    ),
+    "fig9": (
+        "Fig 9: CPU breakdown",
+        lambda args, out: table1_table2_fig9.report_fig9(out=out),
+    ),
+    "fig10": (
+        "Fig 10: probing strategies",
+        lambda args, out: fig10_probing.report(out=out),
+    ),
+    "fig11": (
+        "Fig 11: dedicated polling variants",
+        lambda args, out: fig11_dedicated_polling.report(out=out),
+    ),
+    "fig12": (
+        "Fig 12: prioritized execution vs skew",
+        lambda args, out: fig12_priority.report(out=out),
+    ),
+    "fig13": (
+        "Fig 13: CPU yielding vs input rate",
+        lambda args, out: fig13_yielding.report(out=out),
+    ),
+    "fig14": (
+        "Fig 14: buffering",
+        lambda args, out: fig14_buffering.report(out=out),
+    ),
+    "fig15": (
+        "Fig 15: end-to-end comparison",
+        lambda args, out: fig15_end_to_end.report(out=out),
+    ),
+}
+
+
+def _make_writer(path):
+    if path is None:
+        return print, lambda: None
+    handle = open(path, "w")
+
+    def out(line=""):
+        print(line)
+        handle.write(str(line) + "\n")
+
+    return out, handle.close
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the PA-Tree paper's tables and figures.",
+    )
+    parser.add_argument(
+        "exhibit",
+        help="one of: %s, 'all', or 'list'" % ", ".join(sorted(_EXHIBITS)),
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None, help="operations per measurement point"
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory to also write text tables into"
+    )
+    args = parser.parse_args(argv)
+
+    if args.exhibit == "list":
+        for name, (title, _fn) in sorted(_EXHIBITS.items()):
+            print("%-8s %s" % (name, title))
+        return 0
+
+    names = sorted(_EXHIBITS) if args.exhibit == "all" else [args.exhibit]
+    unknown = [name for name in names if name not in _EXHIBITS]
+    if unknown:
+        parser.error("unknown exhibit(s): %s" % ", ".join(unknown))
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        title, fn = _EXHIBITS[name]
+        print("=== %s ===" % title)
+        path = os.path.join(args.out, name + ".txt") if args.out else None
+        out, close = _make_writer(path)
+        try:
+            fn(args, out)
+        finally:
+            close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

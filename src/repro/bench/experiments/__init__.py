@@ -1,0 +1,1 @@
+"""Experiment modules, one per paper table/figure."""

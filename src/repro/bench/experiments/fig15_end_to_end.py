@@ -1,0 +1,184 @@
+"""Fig 15 — end-to-end comparison.
+
+PA-Tree versus the state-of-the-art baselines the paper uses —
+LevelDB-style LSM store, LCB-Tree (log-based consistent B+ tree) and
+Blink-tree — under strong and weak persistence, on the default YCSB
+mix and the two real-workload stand-ins (T-Drive trajectories, SSE
+order book).  As in the paper: every method gets a memory buffer of
+10 % of the index size, weak persistence syncs every 1000 updates, and
+the synchronous baselines run multi-threaded (the paper reports their
+best thread count; we use 32, their observed best).
+"""
+
+from repro.baselines.blink_tree import BlinkTreeAccessor
+from repro.baselines.io_service import DedicatedIoService
+from repro.baselines.latching import BlockingLatchTable
+from repro.baselines.lcb_tree import LcbTreeAccessor
+from repro.baselines.lsm import LsmAccessor, LsmConfig, LsmStore
+from repro.baselines.runner import BaselineRunner
+from repro.bench.report import print_table
+from repro.bench.runner import WorkloadSpec, _interleave_syncs, _Machine, _make_buffer
+from repro.bench.runner import run_pa
+from repro.errors import BenchmarkError
+from repro.sim.clock import NS_PER_SEC
+from repro.sim.rng import RngRegistry
+
+SYNC_EVERY = 1000
+BASELINE_THREADS = 32
+
+WORKLOADS = {
+    "ycsb-default": WorkloadSpec(
+        kind="ycsb", n_keys=20_000, n_ops=2_500, mix="default", insert_ratio=0.3
+    ),
+    "t-drive": WorkloadSpec(kind="tdrive", n_keys=20_000, n_ops=1_500, n_actors=300),
+    "sse": WorkloadSpec(
+        kind="sse", n_keys=12_000, n_ops=1_500, payload_size=100, n_actors=200
+    ),
+}
+
+
+def _buffer_pages_for(tree):
+    """10 % of the index size, as in the paper's setup."""
+    return max(64, tree.allocator.allocated_count // 10)
+
+
+def run_tree_baseline(spec, accessor_kind, persistence, n_threads, seed=1):
+    """LCB / Blink run over the shared synchronous substrate."""
+    machine = _Machine(seed, None, spec.payload_size)
+    rng = RngRegistry(seed).stream("workload")
+    workload = spec.build(rng)
+    machine.tree.bulk_load(workload.preload_items())
+    buffer_pages = _buffer_pages_for(machine.tree)
+
+    io_service = DedicatedIoService(machine.driver)
+    latches = BlockingLatchTable()
+    if accessor_kind == "blink":
+        accessor = BlinkTreeAccessor(
+            machine.tree,
+            io_service,
+            latches,
+            buffer=_make_buffer(persistence, buffer_pages),
+            persistence=persistence,
+        )
+    elif accessor_kind == "lcb":
+        accessor = LcbTreeAccessor(
+            machine.tree,
+            io_service,
+            latches,
+            buffer=_make_buffer("strong", buffer_pages),
+            persistence=persistence,
+        )
+    else:
+        raise BenchmarkError("unknown accessor kind %r" % (accessor_kind,))
+
+    operations = workload.operations()
+    if persistence == "weak":
+        operations = _interleave_syncs(operations, SYNC_EVERY)
+    runner = BaselineRunner(
+        machine.simos, accessor, operations, n_threads, name=accessor_kind
+    )
+    runner.run_to_completion()
+    return _collect(machine, runner, accessor_kind, n_threads)
+
+
+def run_lsm_baseline(spec, persistence, n_threads, seed=1):
+    machine = _Machine(seed, None, spec.payload_size)
+    rng = RngRegistry(seed).stream("workload")
+    workload = spec.build(rng)
+    io_service = DedicatedIoService(machine.driver)
+    store = LsmStore(machine.device, io_service, LsmConfig(), persistence=persistence)
+    store.bulk_load(workload.preload_items())
+    store.resize_block_cache(store.data_pages() // 10)  # 10 % as in the paper
+    accessor = LsmAccessor(store)
+    operations = workload.operations()
+    if persistence == "weak":
+        operations = _interleave_syncs(operations, SYNC_EVERY)
+    runner = BaselineRunner(
+        machine.simos, accessor, operations, n_threads, name="lsm"
+    )
+    runner.run_to_completion()
+    return _collect(machine, runner, "leveldb-lsm", n_threads)
+
+
+def _collect(machine, runner, approach, n_threads):
+    end_ns = runner.last_user_done_ns or machine.engine.now
+    elapsed_s = end_ns / NS_PER_SEC
+    return {
+        "approach": approach,
+        "threads": n_threads,
+        "throughput_ops": runner.user_completed / elapsed_s if elapsed_s else 0.0,
+        "mean_latency_us": runner.latencies.mean_usec(),
+        "p99_latency_us": runner.latencies.p99_usec(),
+        "completed": runner.completed.value,
+        "cores_used": machine.simos.total_busy_ns() / machine.engine.now
+        if machine.engine.now
+        else 0.0,
+    }
+
+
+def run_pa_arm(spec, persistence, seed=1):
+    # estimate the buffer from the workload's preload footprint
+    machine = _Machine(seed, None, spec.payload_size)
+    rng = RngRegistry(seed).stream("workload")
+    workload = spec.build(rng)
+    machine.tree.bulk_load(workload.preload_items())
+    buffer_pages = _buffer_pages_for(machine.tree)
+
+    arm_spec = spec
+    if persistence == "weak":
+        arm_spec = WorkloadSpec(
+            kind=spec.kind,
+            n_keys=spec.n_keys,
+            n_ops=spec.n_ops,
+            mix=spec.mix,
+            alpha=spec.alpha,
+            payload_size=spec.payload_size,
+            insert_ratio=spec.insert_ratio,
+            sync_every=SYNC_EVERY,
+            n_actors=spec.n_actors,
+        )
+    row = run_pa(
+        arm_spec,
+        seed=seed,
+        persistence=persistence,
+        buffer_pages=buffer_pages,
+        # matched concurrency: the same number of in-flight operations
+        # as the baselines have worker threads, so latency comparisons
+        # are apples-to-apples
+        window=BASELINE_THREADS,
+    )
+    row["approach"] = "pa-tree"
+    return row
+
+
+def run_experiment(workloads=None, seed=1, baseline_threads=BASELINE_THREADS):
+    workloads = workloads or WORKLOADS
+    rows = []
+    for workload_name, spec in workloads.items():
+        for persistence in ("strong", "weak"):
+            arms = [run_pa_arm(spec, persistence, seed=seed)]
+            arms.append(
+                run_tree_baseline(spec, "blink", persistence, baseline_threads, seed)
+            )
+            arms.append(
+                run_tree_baseline(spec, "lcb", persistence, baseline_threads, seed)
+            )
+            arms.append(run_lsm_baseline(spec, persistence, baseline_threads, seed))
+            for row in arms:
+                row["workload"] = workload_name
+                row["persistence"] = persistence
+                rows.append(row)
+    return rows
+
+
+def report(rows=None, out=print):
+    rows = rows or run_experiment()
+    columns = [
+        ("workload", "workload"),
+        ("persistence", "persistence"),
+        ("method", "approach"),
+        ("ops/s", "throughput_ops"),
+        ("mean lat (us)", "mean_latency_us"),
+        ("p99 lat (us)", "p99_latency_us"),
+    ]
+    print_table("Fig 15: end-to-end comparison", columns, rows, out=out)

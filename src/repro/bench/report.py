@@ -1,0 +1,85 @@
+"""Tabular reporting for experiment results.
+
+Prints the same row/series shapes the paper's tables and figures use,
+as plain text so benchmark logs are diffable and greppable.
+"""
+
+
+def format_value(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 10:
+            return "%.1f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def print_table(title, columns, rows, out=print):
+    """Render rows (dicts) as an aligned text table."""
+    headers = [name for name, _key in columns]
+    cells = [
+        [format_value(row.get(key, "")) for _name, key in columns] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(columns))
+    ]
+    out("")
+    out("== %s ==" % title)
+    out("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out("  ".join("-" * w for w in widths))
+    for row_cells in cells:
+        out("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    out("")
+
+
+def print_series(title, x_name, x_values, series, out=print):
+    """Render one figure: named series over shared x values."""
+    columns = [(x_name, "x")] + [(name, name) for name in series]
+    rows = []
+    for index, x in enumerate(x_values):
+        row = {"x": x}
+        for name, values in series.items():
+            row[name] = values[index]
+        rows.append(row)
+    print_table(title, columns, rows, out=out)
+
+
+def shape_ratio(a, b):
+    """Safe ratio used by shape assertions in the benches."""
+    if b == 0:
+        return float("inf") if a > 0 else 1.0
+    return a / b
+
+
+def write_csv(rows, path, columns=None):
+    """Write experiment rows to a CSV file for downstream plotting.
+
+    ``columns`` is a list of (header, key) pairs; by default every
+    scalar key present in the first row is exported, in sorted order
+    (nested dicts like ``cpu_breakdown`` are flattened one level).
+    """
+    import csv
+
+    flat_rows = []
+    for row in rows:
+        flat = {}
+        for key, value in row.items():
+            if isinstance(value, dict):
+                for sub_key, sub_value in value.items():
+                    flat["%s.%s" % (key, sub_key)] = sub_value
+            elif isinstance(value, (int, float, str)):
+                flat[key] = value
+        flat_rows.append(flat)
+    if columns is None:
+        keys = sorted({key for flat in flat_rows for key in flat})
+        columns = [(key, key) for key in keys]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([header for header, _key in columns])
+        for flat in flat_rows:
+            writer.writerow([flat.get(key, "") for _header, key in columns])
+    return path

@@ -1,0 +1,289 @@
+"""Experiment harness.
+
+Builds a fresh simulated machine per run (engine + OS + device +
+tree), preloads the workload, drives it through either the PA-Tree
+engine or a synchronous baseline, and reports one flat dict of the
+quantities the paper's tables and figures use: throughput, latency
+percentiles, achieved IOPS, time-averaged outstanding I/Os, CPU cores
+consumed, CPU per operation, context switches, and the CPU breakdown
+by category.
+
+Every run is deterministic in (spec, seed); sweeps fork the seed so
+arms are paired.
+"""
+
+from repro.baselines.io_service import DedicatedIoService, SharedIoService
+from repro.baselines.latching import BlockingLatchTable
+from repro.baselines.runner import BaselineRunner
+from repro.baselines.sync_tree import SyncTreeAccessor
+from repro.buffer import ReadOnlyBuffer, ReadWriteBuffer
+from repro.core.engine import PaTreeEngine
+from repro.core.ops import sync_op
+from repro.core.source import ClosedLoopSource, OpenLoopSource
+from repro.core.tree import PaTree
+from repro.errors import BenchmarkError
+from repro.nvme.device import NvmeDevice, i3_nvme_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sched.naive import NaiveScheduling
+from repro.sched.probe_model import cached_probe_model
+from repro.sched.workload_aware import WorkloadAwareScheduling
+from repro.sim.clock import NS_PER_SEC
+from repro.sim.engine import Engine
+from repro.sim.metrics import CPU_CATEGORIES
+from repro.sim.rng import RngRegistry
+from repro.simos.scheduler import SimOS, paper_testbed_profile
+from repro.workloads import SseWorkload, TDriveWorkload, YcsbWorkload
+
+
+class WorkloadSpec:
+    """Declarative description of one workload instance."""
+
+    def __init__(
+        self,
+        kind="ycsb",
+        n_keys=20_000,
+        n_ops=4_000,
+        mix="default",
+        alpha=0.3,
+        payload_size=8,
+        insert_ratio=0.0,
+        sync_every=0,
+        n_actors=200,
+    ):
+        self.kind = kind
+        self.n_keys = n_keys
+        self.n_ops = n_ops
+        self.mix = mix
+        self.alpha = alpha
+        self.payload_size = payload_size
+        self.insert_ratio = insert_ratio
+        self.sync_every = sync_every
+        self.n_actors = n_actors
+
+    def build(self, rng):
+        if self.kind == "ycsb":
+            return YcsbWorkload(
+                self.n_keys,
+                self.n_ops,
+                mix=self.mix,
+                alpha=self.alpha,
+                rng=rng,
+                payload_size=self.payload_size,
+                insert_ratio=self.insert_ratio,
+            )
+        if self.kind == "tdrive":
+            return TDriveWorkload(
+                self.n_actors,
+                self.n_keys,
+                self.n_ops,
+                rng,
+                payload_size=self.payload_size,
+            )
+        if self.kind == "sse":
+            return SseWorkload(
+                self.n_actors,
+                self.n_keys,
+                self.n_ops,
+                rng,
+                payload_size=self.payload_size,
+            )
+        raise BenchmarkError("unknown workload kind %r" % (self.kind,))
+
+
+def _interleave_syncs(operations, sync_every):
+    """Insert a sync() after every ``sync_every`` update operations."""
+    since = 0
+    for op in operations:
+        yield op
+        if op.is_update:
+            since += 1
+            if since >= sync_every:
+                since = 0
+                yield sync_op()
+
+
+class _Machine:
+    """One simulated machine with a freshly formatted tree."""
+
+    def __init__(self, seed, device_profile=None, payload_size=8):
+        self.engine = Engine(seed=seed)
+        self.simos = SimOS(self.engine, paper_testbed_profile())
+        self.device_profile = device_profile or i3_nvme_profile()
+        self.device = NvmeDevice(self.engine, self.device_profile)
+        self.driver = NvmeDriver(self.device)
+        self.tree = PaTree.create(self.device, payload_size=payload_size)
+
+
+def _make_buffer(persistence, buffer_pages):
+    if buffer_pages <= 0:
+        return None
+    if persistence == "weak":
+        return ReadWriteBuffer(buffer_pages)
+    return ReadOnlyBuffer(buffer_pages)
+
+
+def _finish_stats(result, machine, completed, latencies, group, end_ns=None):
+    # Throughput windows end at the last user-operation completion, so
+    # a trailing group-commit flush does not distort short runs.
+    elapsed_ns = end_ns if end_ns else machine.engine.now
+    elapsed_s = elapsed_ns / NS_PER_SEC if elapsed_ns else 1.0
+    device = machine.device
+    account = machine.simos.cpu_account(group)
+    result.update(
+        {
+            "elapsed_s": elapsed_s,
+            "throughput_ops": completed / elapsed_s,
+            "mean_latency_us": latencies.mean_usec(),
+            "p50_latency_us": latencies.p50_usec(),
+            "p99_latency_us": latencies.p99_usec(),
+            "iops": device.total_completed / elapsed_s,
+            "device_reads": device.reads_completed.value,
+            "device_writes": device.writes_completed.value,
+            "outstanding_avg": device.outstanding.average(),
+            "cores_used": machine.simos.total_busy_ns() / elapsed_ns
+            if elapsed_ns
+            else 0.0,
+            "context_switches": machine.simos.context_switches.value,
+            "cpu_us_per_op": (account.total_ns / 1000.0 / completed)
+            if completed
+            else 0.0,
+            "cpu_breakdown": {
+                name: account.fraction(name) for name in CPU_CATEGORIES
+            },
+            "completed": completed,
+        }
+    )
+    return result
+
+
+def run_pa(
+    spec,
+    seed=1,
+    scheduler="workload_aware",
+    policy=None,
+    persistence="strong",
+    buffer_pages=0,
+    window=64,
+    dedicated_poller=None,
+    device_profile=None,
+    open_loop_rate=None,
+    fill_factor=0.7,
+):
+    """Run one PA-Tree experiment; returns the flat stats dict."""
+    machine = _Machine(seed, device_profile, spec.payload_size)
+    rng = RngRegistry(seed).stream("workload")
+    workload = spec.build(rng)
+    machine.tree.bulk_load(workload.preload_items(), fill_factor)
+
+    if policy is None:
+        if scheduler == "workload_aware":
+            model = cached_probe_model(machine.device_profile)
+            policy = WorkloadAwareScheduling(model)
+        elif scheduler == "naive":
+            policy = NaiveScheduling()
+        else:
+            raise BenchmarkError("unknown scheduler %r" % (scheduler,))
+
+    operations = workload.operations()
+    if spec.sync_every:
+        operations = _interleave_syncs(operations, spec.sync_every)
+
+    if open_loop_rate is not None:
+        arrival_rng = RngRegistry(seed).stream("arrival")
+        source = OpenLoopSource(operations, open_loop_rate, arrival_rng)
+    else:
+        source = ClosedLoopSource(operations, window=window)
+
+    pa = PaTreeEngine(
+        machine.simos,
+        machine.driver,
+        machine.tree,
+        policy,
+        source=source,
+        buffer=_make_buffer(persistence, buffer_pages),
+        persistence=persistence,
+        dedicated_poller=dedicated_poller,
+    )
+    pa.run_to_completion()
+    if persistence == "weak":
+        # Flush the dirty tail so media-level validation sees every
+        # update (the measured run above is untouched).
+        pa.source = ClosedLoopSource([sync_op()], window=1)
+        pa._shutdown = False
+        pa.run_to_completion()
+    machine.tree.validate()
+
+    result = {
+        "approach": "pa-tree",
+        "threads": 1,
+        "scheduler": getattr(policy, "name", "custom"),
+        "probes": pa.probes.value,
+        "latch_waits": pa.latch_wait_events.value,
+    }
+    return _finish_stats(
+        result,
+        machine,
+        pa.user_completed,
+        pa.latencies,
+        "pa-tree",
+        end_ns=pa.last_user_done_ns,
+    )
+
+
+def run_sync_baseline(
+    spec,
+    io_mode,
+    n_threads,
+    seed=1,
+    persistence="strong",
+    buffer_pages=0,
+    device_profile=None,
+    fill_factor=0.7,
+    pause_mode="spin",
+    poll_pause_us=20,
+):
+    """Run one shared/dedicated synchronous-paradigm experiment."""
+    machine = _Machine(seed, device_profile, spec.payload_size)
+    rng = RngRegistry(seed).stream("workload")
+    workload = spec.build(rng)
+    machine.tree.bulk_load(workload.preload_items(), fill_factor)
+
+    if io_mode == "dedicated":
+        io_service = DedicatedIoService(
+            machine.driver, poll_pause_us=poll_pause_us, pause_mode=pause_mode
+        )
+    elif io_mode == "shared":
+        io_service = SharedIoService(machine.driver)
+    else:
+        raise BenchmarkError("unknown io mode %r" % (io_mode,))
+
+    operations = workload.operations()
+    if spec.sync_every:
+        operations = _interleave_syncs(operations, spec.sync_every)
+
+    accessor = SyncTreeAccessor(
+        machine.tree,
+        io_service,
+        BlockingLatchTable(),
+        buffer=_make_buffer(persistence, buffer_pages),
+        persistence=persistence,
+    )
+    runner = BaselineRunner(
+        machine.simos, accessor, operations, n_threads, name=io_mode
+    )
+    runner.run_to_completion()
+    machine.tree.validate()
+
+    result = {
+        "approach": io_mode,
+        "threads": n_threads,
+        "scheduler": "synchronous",
+    }
+    return _finish_stats(
+        result,
+        machine,
+        runner.user_completed,
+        runner.latencies,
+        io_mode,
+        end_ns=runner.last_user_done_ns,
+    )

@@ -1,0 +1,8 @@
+"""Buffer management: LRU core, strong-persistent read-only buffer and
+weak-persistent read-write buffer (paper §III-C)."""
+
+from repro.buffer.lru import LruCache
+from repro.buffer.read_only import ReadOnlyBuffer
+from repro.buffer.read_write import ReadWriteBuffer
+
+__all__ = ["LruCache", "ReadOnlyBuffer", "ReadWriteBuffer"]

@@ -1,0 +1,59 @@
+"""LRU cache core.
+
+An ``OrderedDict``-based least-recently-used map used by both buffer
+managers and by the LSM block cache.  Eviction returns the victim to
+the caller, which decides what to do with it (drop clean pages, flush
+dirty ones).
+"""
+
+from collections import OrderedDict
+
+
+class LruCache:
+    """Bounded LRU mapping; capacity counts entries (pages)."""
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("LRU capacity must be positive")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def get(self, key):
+        """Return the value and mark it most-recently used, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def peek(self, key):
+        """Return the value without touching recency, or None."""
+        return self._entries.get(key)
+
+    def put(self, key, value):
+        """Insert/replace; returns the evicted ``(key, value)`` or None."""
+        entries = self._entries
+        if key in entries:
+            entries[key] = value
+            entries.move_to_end(key)
+            return None
+        entries[key] = value
+        if len(entries) > self.capacity:
+            return entries.popitem(last=False)
+        return None
+
+    def pop(self, key):
+        """Remove and return the value, or None if absent."""
+        return self._entries.pop(key, None)
+
+    def items(self):
+        return self._entries.items()
+
+    def keys(self):
+        return self._entries.keys()

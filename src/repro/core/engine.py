@@ -1,0 +1,547 @@
+"""The PA-Tree working-thread engine.
+
+One simulated thread runs the paper's main loop (Algorithm 1 or 2,
+depending on the plugged scheduling policy): admit operations from the
+source, process the highest-priority ready operation until it blocks,
+probe the NVMe completion queue when the policy says so, and yield the
+CPU when the policy predicts nothing useful to do.
+
+The engine translates operation-coroutine *effects* into simulated-CPU
+charges, latch-table calls and driver I/O, and shepherds operations
+between the ready set and the two waiting states (I/O wait and latch
+wait).  Optionally it also spawns the dedicated polling thread of the
+PAD / PAD+ variants (Fig 11).
+"""
+
+from collections import deque
+
+from repro.core.latch import LatchTable
+from repro.core.node import Node
+from repro.core.ops import (
+    ChargeEff,
+    LatchEff,
+    ReadEff,
+    ST_DONE,
+    ST_IO_WAIT,
+    ST_LATCH_WAIT,
+    ST_READY,
+    SYNC,
+    SyncEff,
+    UnlatchEff,
+    WriteEff,
+)
+from repro.core.plans import make_plan
+from repro.errors import SchedulerError, TreeError
+from repro.nvme.command import NvmeCommand, OP_READ
+from repro.sim.metrics import (
+    CPU_NVME,
+    CPU_REAL_WORK,
+    CPU_SCHED,
+    CPU_SYNC,
+    Counter,
+    LatencyRecorder,
+)
+from repro.simos.thread import Cpu, Sleep
+
+PERSISTENCE_STRONG = "strong"
+PERSISTENCE_WEAK = "weak"
+
+POLLER_NONE = None
+POLLER_CONTINUOUS = "continuous"  # PAD-Tree
+POLLER_MODEL = "model"  # PAD+-Tree
+
+_NODE_CACHE_LIMIT = 1_000_000
+
+
+class PaTreeEngine:
+    """Drives a :class:`~repro.core.tree.PaTree` with the PA paradigm."""
+
+    def __init__(
+        self,
+        simos,
+        driver,
+        tree,
+        policy,
+        source,
+        buffer=None,
+        persistence=PERSISTENCE_STRONG,
+        qpair=None,
+        dedicated_poller=POLLER_NONE,
+        name="pa-tree",
+    ):
+        if persistence not in (PERSISTENCE_STRONG, PERSISTENCE_WEAK):
+            raise SchedulerError("unknown persistence mode %r" % persistence)
+        if persistence == PERSISTENCE_WEAK and buffer is None:
+            raise SchedulerError("weak persistence requires a read-write buffer")
+        if persistence == PERSISTENCE_WEAK and buffer.mode != "weak":
+            raise SchedulerError("weak persistence requires a ReadWriteBuffer")
+        if persistence == PERSISTENCE_STRONG and buffer is not None and buffer.mode != "strong":
+            raise SchedulerError("strong persistence requires a ReadOnlyBuffer")
+        self.simos = simos
+        self.engine = simos.engine
+        self.clock = simos.engine.clock
+        self.driver = driver
+        self.tree = tree
+        self.policy = policy
+        self.source = source
+        self.buffer = buffer
+        self.persistence = persistence
+        self.qpair = qpair or driver.alloc_qpair(sq_size=4096, cq_size=4096)
+        self.dedicated_poller = dedicated_poller
+        self.name = name
+
+        from repro.sched.history import IoHistory
+
+        model = getattr(policy, "probe_model", None)
+        if model is not None:
+            self.io_history = IoHistory(
+                self.clock, window_us=model.window_us, slices=model.slices
+            )
+        else:
+            self.io_history = IoHistory(self.clock)
+        self.latches = LatchTable()
+        self.sched_pick_cost_ns = tree.costs.priority_pick_ns
+        self.sched_gate_cost_ns = tree.costs.probe_model_ns
+        tree.on_page_released = self._on_page_released
+
+        self._node_cache = {}
+        self._writes_in_flight = {}
+        self._deferred_flushes = deque()
+        self._background_outstanding = 0
+        self._active_sync = None
+        self._next_seq = 0
+        self.inflight = 0
+        self._shutdown = False
+
+        # measurement state
+        self.latencies = LatencyRecorder()
+        self.completed = Counter()
+        self.completed_by_kind = {}
+        self.user_completed = 0
+        self.last_user_done_ns = 0
+        self.probes = Counter()
+        self.latch_wait_events = Counter()
+        self.worker_thread = None
+        self.poller_thread = None
+
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Spawn the working thread (and poller, if configured)."""
+        self.worker_thread = self.simos.spawn(
+            self._worker_body(), name=self.name, group=self.name
+        )
+        if self.dedicated_poller is not None:
+            self.poller_thread = self.simos.spawn(
+                self._poller_body(), name=self.name + "-poller", group=self.name
+            )
+        return self.worker_thread
+
+    def run_to_completion(self, until_ns=None):
+        """Convenience: run the simulation until the source drains."""
+        self.start()
+        self.engine.run(until_ns=until_ns, until=lambda: self.worker_thread.done)
+        if not self.worker_thread.done:
+            raise SchedulerError(
+                "PA engine did not finish (inflight=%d, outstanding=%d)"
+                % (self.inflight, self.io_history.outstanding_count)
+            )
+        self.latches.assert_quiescent()
+
+    # ------------------------------------------------------------------
+    # the working thread main loop
+    # ------------------------------------------------------------------
+
+    def _worker_body(self):
+        costs = self.tree.costs
+        driver = self.driver
+        policy = self.policy
+        source = self.source
+        profile = driver.device.profile
+        poller = self.dedicated_poller is not None
+        while True:
+            worked = False
+
+            new_ops = source.poll(self.clock.now)
+            if new_ops:
+                yield Cpu(costs.admit_ns * len(new_ops), CPU_SCHED)
+                for op in new_ops:
+                    self._admit(op)
+                worked = True
+
+            # drain deferred page writes (buffer evictions, sync
+            # flushes) while the submission queue has headroom -- a
+            # large sync() must not overrun the ring
+            while self._deferred_flushes and self.qpair.sq.free_slots > 64:
+                lba, data, flush_op = self._deferred_flushes.popleft()
+                yield Cpu(driver.submit_cpu_ns, CPU_NVME)
+                self._submit_page_write(lba, data, flush_op)
+                worked = True
+
+            if policy.ready_count():
+                yield Cpu(policy.pick_cost_ns(), CPU_SCHED)
+                op = policy.pick()
+                yield from self._process(op)
+                worked = True
+
+            if not poller and self.io_history.outstanding_count:
+                gate_cost = policy.gate_cost_ns()
+                if gate_cost:
+                    yield Cpu(gate_cost, CPU_SCHED)
+                    worked = True
+                if policy.should_probe():
+                    yield Cpu(driver.probe_cpu_ns(0), CPU_NVME)
+                    completed = driver.probe(self.qpair)
+                    self.probes.add()
+                    policy.note_probe(self.clock.now, len(completed))
+                    if completed:
+                        yield Cpu(
+                            len(completed) * profile.probe_cpu_per_completion_ns,
+                            CPU_NVME,
+                        )
+                    worked = True
+
+            if self._finished():
+                break
+
+            if policy.ready_count() == 0 and not self._deferred_flushes:
+                sleep_ns = policy.idle_sleep_ns()
+                next_arrival = source.next_event_ns(self.clock.now)
+                if sleep_ns > 0:
+                    if next_arrival is not None:
+                        sleep_ns = min(sleep_ns, max(1, next_arrival - self.clock.now))
+                    yield Sleep(sleep_ns)
+                elif not worked:
+                    yield Cpu(costs.idle_spin_ns, CPU_SCHED)
+
+        self._shutdown = True
+
+    def _poller_body(self):
+        """Dedicated polling thread (PAD / PAD+ variants, Fig 11)."""
+        costs = self.tree.costs
+        driver = self.driver
+        profile = driver.device.profile
+        model = getattr(self.policy, "probe_model", None)
+        use_model = self.dedicated_poller == POLLER_MODEL and model is not None
+        max_gap_ns = getattr(self.policy, "max_probe_gap_ns", 100_000)
+        min_gap_ns = getattr(self.policy, "min_probe_gap_ns", 0)
+        last_probe_ns = 0
+        while not self._shutdown:
+            if use_model:
+                yield Cpu(costs.probe_model_ns, CPU_SCHED)
+                gap = self.clock.now - last_probe_ns
+                overdue = gap >= max_gap_ns
+                gated = gap < min_gap_ns or (
+                    self.io_history.outstanding_count == 0
+                    or not model.predicts_completion(self.io_history.feature_vector())
+                )
+                if not overdue and gated:
+                    yield Cpu(costs.idle_spin_ns, CPU_SCHED)
+                    continue
+                last_probe_ns = self.clock.now
+            yield Cpu(driver.probe_cpu_ns(0), CPU_NVME)
+            completed = driver.probe(self.qpair)
+            self.probes.add()
+            if completed:
+                # cross-thread handoff: each completion moves through a
+                # synchronized queue to the working thread
+                yield Cpu(
+                    len(completed)
+                    * (profile.probe_cpu_per_completion_ns + costs.handoff_sync_ns),
+                    CPU_SYNC,
+                )
+            else:
+                yield Cpu(costs.idle_spin_ns, CPU_NVME)
+
+    # ------------------------------------------------------------------
+    # operation processing
+    # ------------------------------------------------------------------
+
+    def _admit(self, op):
+        op.seq = self._next_seq
+        self._next_seq += 1
+        op.admit_ns = self.clock.now
+        op.gen = make_plan(op, self.tree)
+        op.state = ST_READY
+        self.inflight += 1
+        self.policy.on_ready(op)
+
+    def _process(self, op):
+        """Run ``op`` until it waits or completes (paper's process(c))."""
+        costs = self.tree.costs
+        yield Cpu(costs.dispatch_ns, CPU_SCHED)
+
+        send = op.resume_value
+        op.resume_value = None
+        if type(send) is NvmeCommand:
+            # read completion: turn raw bytes into a parsed node
+            yield Cpu(costs.node_parse_ns, CPU_REAL_WORK)
+            send = self._node_from_command(send)
+
+        while True:
+            try:
+                effect = op.gen.send(send)
+            except StopIteration:
+                self._complete(op)
+                return
+            send = None
+            kind = type(effect)
+
+            if kind is LatchEff:
+                yield Cpu(costs.latch_request_ns, CPU_SYNC)
+                if not self.latches.request(op, effect.page_id, effect.mode):
+                    op.state = ST_LATCH_WAIT
+                    self.latch_wait_events.add()
+                    return
+
+            elif kind is UnlatchEff:
+                yield Cpu(costs.latch_release_ns, CPU_SYNC)
+                woken = self.latches.release(op, effect.page_id)
+                for waiter in woken:
+                    waiter.state = ST_READY
+                    self.policy.on_ready(waiter)
+
+            elif kind is ReadEff:
+                result = yield from self._read_page(op, effect.page_id)
+                if result is None:
+                    op.state = ST_IO_WAIT
+                    return
+                send = result
+
+            elif kind is WriteEff:
+                waiting = yield from self._write_wave(op, effect)
+                if waiting:
+                    op.state = ST_IO_WAIT
+                    return
+
+            elif kind is ChargeEff:
+                yield Cpu(effect.ns, effect.category)
+
+            elif kind is SyncEff:
+                waiting, flushed = yield from self._start_sync(op)
+                if waiting:
+                    op.state = ST_IO_WAIT
+                    return
+                send = flushed
+
+            else:
+                raise TreeError("operation yielded unknown effect %r" % (effect,))
+
+    def _read_page(self, op, page_id):
+        """Serve a node read; returns the node or None (I/O submitted)."""
+        costs = self.tree.costs
+        if self.buffer is not None:
+            yield Cpu(costs.buffer_lookup_ns, CPU_REAL_WORK)
+            data = self.buffer.lookup(page_id)
+            if data is not None:
+                yield Cpu(costs.node_parse_ns, CPU_REAL_WORK)
+                node = self._node_cache.get(page_id)
+                if node is None:
+                    node = Node.from_bytes(self.tree.config, page_id, data)
+                    self._cache_node(node)
+                return node
+        yield Cpu(self.driver.submit_cpu_ns, CPU_NVME)
+        command = self.driver.read(
+            self.qpair, page_id, callback=self._on_io_done, context=op
+        )
+        self.io_history.on_submit(command)
+        op.io_remaining = 1
+        return None
+
+    def _write_wave(self, op, effect):
+        """Persist one wave of nodes; returns True when op must wait."""
+        costs = self.tree.costs
+        images = []
+        for node in effect.nodes:
+            yield Cpu(costs.node_serialize_ns, CPU_REAL_WORK)
+            images.append((node.page_id, node.to_bytes()))
+            self._cache_node(node)
+        if effect.write_meta:
+            yield Cpu(costs.node_serialize_ns, CPU_REAL_WORK)
+            images.append((self.tree.meta_page, self.tree.meta.to_bytes()))
+
+        if self.persistence == PERSISTENCE_WEAK:
+            for page_id, data in images:
+                evicted = self.buffer.write(page_id, data)
+                for victim_id, victim_data in evicted:
+                    yield Cpu(self.driver.submit_cpu_ns, CPU_NVME)
+                    self._submit_page_write(victim_id, victim_data, None)
+            return False
+
+        count = 0
+        for page_id, data in images:
+            yield Cpu(self.driver.submit_cpu_ns, CPU_NVME)
+            self._submit_page_write(page_id, data, op)
+            count += 1
+        op.io_remaining = count
+        return count > 0
+
+    def _start_sync(self, op):
+        """Handle a ``sync()`` operation; returns (waiting, flushed).
+
+        Flush writes are queued through the deferred list so the main
+        loop meters them into the submission ring instead of
+        overrunning it when thousands of pages are dirty.
+        """
+        if self.persistence == PERSISTENCE_STRONG:
+            return False, 0
+        if self._active_sync is not None:
+            raise SchedulerError("concurrent sync operations are not supported")
+        yield Cpu(self.tree.costs.dispatch_ns, CPU_SCHED)
+        flushing = self.buffer.take_dirty()
+        for page_id, data in flushing:
+            self._deferred_flushes.append((page_id, data, op))
+        op.io_remaining = len(flushing)
+        if op.io_remaining == 0 and self._background_outstanding == 0:
+            return False, 0
+        self._active_sync = op
+        op.resume_value = len(flushing)
+        return True, None
+
+    def _complete(self, op):
+        if op.held_latches:
+            raise TreeError(
+                "operation %r completed holding latches %r"
+                % (op, sorted(op.held_latches))
+            )
+        op.state = ST_DONE
+        op.done_ns = self.clock.now
+        self.inflight -= 1
+        self.completed.add()
+        self.completed_by_kind[op.kind] = self.completed_by_kind.get(op.kind, 0) + 1
+        if op.kind != SYNC:
+            self.user_completed += 1
+            self.last_user_done_ns = op.done_ns
+        self.latencies.record(op.latency_ns)
+        self.source.on_op_complete(op)
+        if op.on_complete is not None:
+            op.on_complete(op)
+
+    # ------------------------------------------------------------------
+    # I/O plumbing
+    # ------------------------------------------------------------------
+
+    def _submit_page_write(self, lba, data, op):
+        """Submit a page write, serializing concurrent writes per LBA."""
+        if op is None:
+            self._background_outstanding += 1
+        pending = self._writes_in_flight.get(lba)
+        if pending is not None:
+            pending.append((data, op))
+            return
+        self._writes_in_flight[lba] = deque()
+        command = self.driver.write(
+            self.qpair, lba, data, callback=self._on_io_done, context=op
+        )
+        self.io_history.on_submit(command)
+
+    def _on_io_done(self, command):
+        """Completion callback, fired from a probe (zero virtual time)."""
+        self.io_history.on_complete(command)
+        op = command.context
+
+        if command.opcode == OP_READ:
+            if self.buffer is not None:
+                for victim_id, victim_data in self.buffer.install(
+                    command.lba, command.data
+                ):
+                    self._deferred_flushes.append((victim_id, victim_data, None))
+            op.resume_value = command
+            op.io_remaining -= 1
+            if op.io_remaining == 0:
+                op.state = ST_READY
+                self.policy.on_ready(op)
+            return
+
+        # write completion
+        lba = command.lba
+        pending = self._writes_in_flight.get(lba)
+        if pending:
+            next_data, next_op = pending.popleft()
+            next_command = self.driver.write(
+                self.qpair, lba, next_data, callback=self._on_io_done, context=next_op
+            )
+            self.io_history.on_submit(next_command)
+        else:
+            self._writes_in_flight.pop(lba, None)
+
+        if op is None:
+            # background flush (eviction)
+            self._background_outstanding -= 1
+            if self.buffer is not None:
+                self.buffer.flush_done(lba)
+            self._maybe_finish_sync()
+            return
+
+        if self.persistence == PERSISTENCE_STRONG and self.buffer is not None:
+            self.buffer.install(lba, command.data)
+
+        if op.kind == SYNC:
+            if self.buffer is not None:
+                self.buffer.flush_done(lba)
+            op.io_remaining -= 1
+            self._maybe_finish_sync()
+            return
+
+        op.io_remaining -= 1
+        if op.io_remaining == 0:
+            op.state = ST_READY
+            self.policy.on_ready(op)
+
+    def _maybe_finish_sync(self):
+        op = self._active_sync
+        if op is None:
+            return
+        if op.io_remaining == 0 and self._background_outstanding == 0:
+            self._active_sync = None
+            op.state = ST_READY
+            self.policy.on_ready(op)
+
+    def _finished(self):
+        return (
+            self.source.exhausted()
+            and self.inflight == 0
+            and self._background_outstanding == 0
+            and not self._deferred_flushes
+        )
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+
+    def _cache_node(self, node):
+        if len(self._node_cache) >= _NODE_CACHE_LIMIT:
+            self._node_cache.clear()
+        self._node_cache[node.page_id] = node
+
+    def _node_from_command(self, command):
+        node = self._node_cache.get(command.lba)
+        if node is None:
+            node = Node.from_bytes(self.tree.config, command.lba, command.data)
+            self._cache_node(node)
+        return node
+
+    def _on_page_released(self, page_id):
+        self._node_cache.pop(page_id, None)
+        if self.buffer is not None:
+            self.buffer.invalidate(page_id)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """Totals snapshot; harnesses diff two snapshots for a window."""
+        return {
+            "completed": self.completed.value,
+            "completed_by_kind": dict(self.completed_by_kind),
+            "probes": self.probes.value,
+            "latch_waits": self.latch_wait_events.value,
+            "outstanding_avg": self.io_history.outstanding_count,
+            "mean_latency_us": self.latencies.mean_usec(),
+            "p99_latency_us": self.latencies.p99_usec(),
+        }

@@ -1,0 +1,103 @@
+"""Key encoding.
+
+The index keys are unsigned 64-bit integers, as in the paper (8-byte
+keys).  Real workloads map richer attributes into that space:
+T-Drive-style trajectories use a z-order (Morton) interleaving of
+latitude/longitude, and SSE-style order books pack (stock id, price,
+sequence) into a composite key so that orders for one stock at one
+price band are contiguous in the tree.
+"""
+
+from repro.errors import KeyEncodingError
+
+KEY_MIN = 0
+KEY_MAX = (1 << 64) - 1
+
+
+def check_key(key):
+    """Validate a u64 key, returning it for chaining."""
+    if not isinstance(key, int):
+        raise KeyEncodingError("key must be int, got %r" % type(key).__name__)
+    if key < KEY_MIN or key > KEY_MAX:
+        raise KeyEncodingError("key %r outside u64 range" % (key,))
+    return key
+
+
+def _spread_bits_32(value):
+    """Spread the low 32 bits of ``value`` to even bit positions."""
+    value &= 0xFFFFFFFF
+    value = (value | (value << 16)) & 0x0000FFFF0000FFFF
+    value = (value | (value << 8)) & 0x00FF00FF00FF00FF
+    value = (value | (value << 4)) & 0x0F0F0F0F0F0F0F0F
+    value = (value | (value << 2)) & 0x3333333333333333
+    value = (value | (value << 1)) & 0x5555555555555555
+    return value
+
+
+def _compact_bits_32(value):
+    """Inverse of :func:`_spread_bits_32`."""
+    value &= 0x5555555555555555
+    value = (value | (value >> 1)) & 0x3333333333333333
+    value = (value | (value >> 2)) & 0x0F0F0F0F0F0F0F0F
+    value = (value | (value >> 4)) & 0x00FF00FF00FF00FF
+    value = (value | (value >> 8)) & 0x0000FFFF0000FFFF
+    value = (value | (value >> 16)) & 0x00000000FFFFFFFF
+    return value
+
+
+def zorder_encode(x, y):
+    """Interleave two 32-bit coordinates into one 64-bit z-code."""
+    for name, value in (("x", x), ("y", y)):
+        if not 0 <= value < (1 << 32):
+            raise KeyEncodingError("%s=%r outside 32-bit range" % (name, value))
+    return _spread_bits_32(x) | (_spread_bits_32(y) << 1)
+
+
+def zorder_decode(code):
+    """Recover the (x, y) coordinates from a z-code."""
+    check_key(code)
+    return _compact_bits_32(code), _compact_bits_32(code >> 1)
+
+
+def quantize_coordinate(value, low, high, bits=20):
+    """Map a float coordinate in [low, high] to an integer grid."""
+    if high <= low:
+        raise KeyEncodingError("empty coordinate range")
+    clamped = min(max(value, low), high)
+    scale = (1 << bits) - 1
+    return int(round((clamped - low) / (high - low) * scale))
+
+
+# Composite order-book key: stock id (16 bits) | price tick (24 bits)
+# | sequence (24 bits).  Orders for one stock sort by price then age.
+_STOCK_BITS = 16
+_PRICE_BITS = 24
+_SEQ_BITS = 24
+
+
+def order_key(stock_id, price_tick, seq):
+    """Pack an order-book entry into a u64 composite key."""
+    if not 0 <= stock_id < (1 << _STOCK_BITS):
+        raise KeyEncodingError("stock_id %r outside %d bits" % (stock_id, _STOCK_BITS))
+    if not 0 <= price_tick < (1 << _PRICE_BITS):
+        raise KeyEncodingError("price_tick %r outside %d bits" % (price_tick, _PRICE_BITS))
+    if not 0 <= seq < (1 << _SEQ_BITS):
+        raise KeyEncodingError("seq %r outside %d bits" % (seq, _SEQ_BITS))
+    return (stock_id << (_PRICE_BITS + _SEQ_BITS)) | (price_tick << _SEQ_BITS) | seq
+
+
+def order_key_decode(key):
+    """Unpack a composite order key into (stock_id, price_tick, seq)."""
+    check_key(key)
+    seq = key & ((1 << _SEQ_BITS) - 1)
+    price_tick = (key >> _SEQ_BITS) & ((1 << _PRICE_BITS) - 1)
+    stock_id = key >> (_PRICE_BITS + _SEQ_BITS)
+    return stock_id, price_tick, seq
+
+
+def order_key_range(stock_id, price_low, price_high):
+    """Key range covering one stock between two price ticks, inclusive."""
+    return (
+        order_key(stock_id, price_low, 0),
+        order_key(stock_id, price_high, (1 << _SEQ_BITS) - 1),
+    )

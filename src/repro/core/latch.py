@@ -1,0 +1,138 @@
+"""Operation latches (paper §III-B).
+
+A latch is a logical flag an *operation* (not a thread) holds on a tree
+node.  The PA-Tree working thread grants and releases latches itself,
+so no inter-thread synchronization is involved; blocked operations
+simply sit in a per-node FIFO pending queue until the working thread
+releases a conflicting latch and drains the queue front-to-tail.
+
+Grant rules (first-request-first-grant, no barging past the queue):
+
+* exclusive: granted when ``r == 0 and w == 0`` and no earlier waiter,
+* shared: granted when ``w == 0`` and no earlier waiter.
+"""
+
+from collections import deque
+
+from repro.errors import LatchError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+
+class _LatchEntry:
+    __slots__ = ("readers", "writers", "pending")
+
+    def __init__(self):
+        self.readers = 0
+        self.writers = 0
+        self.pending = deque()
+
+    @property
+    def idle(self):
+        return self.readers == 0 and self.writers == 0 and not self.pending
+
+    def can_grant(self, mode):
+        if mode == EXCLUSIVE:
+            return self.readers == 0 and self.writers == 0
+        return self.writers == 0
+
+
+class LatchTable:
+    """Per-page latch state for one tree, driven by the working thread."""
+
+    def __init__(self):
+        self._entries = {}
+        self.grants = 0
+        self.waits = 0
+
+    def _entry(self, page_id):
+        entry = self._entries.get(page_id)
+        if entry is None:
+            entry = _LatchEntry()
+            self._entries[page_id] = entry
+        return entry
+
+    def request(self, op, page_id, mode):
+        """Try to grant ``mode`` on ``page_id`` to ``op``.
+
+        Returns True and records the hold on success; otherwise queues
+        the request (the operation enters its latch-wait state) and
+        returns False.
+        """
+        if mode not in (SHARED, EXCLUSIVE):
+            raise LatchError("unknown latch mode %r" % (mode,))
+        if page_id in op.held_latches:
+            raise LatchError(
+                "op %r already holds a latch on page %d" % (op, page_id)
+            )
+        entry = self._entry(page_id)
+        if not entry.pending and entry.can_grant(mode):
+            self._grant(op, page_id, entry, mode)
+            return True
+        entry.pending.append((mode, op))
+        self.waits += 1
+        return False
+
+    def release(self, op, page_id):
+        """Release ``op``'s latch on ``page_id``.
+
+        Returns the list of operations whose queued requests became
+        granted; the caller moves them back to the ready set.
+        """
+        mode = op.held_latches.pop(page_id, None)
+        if mode is None:
+            raise LatchError("op %r holds no latch on page %d" % (op, page_id))
+        entry = self._entries.get(page_id)
+        if entry is None:
+            raise LatchError("no latch entry for page %d" % page_id)
+        if mode == EXCLUSIVE:
+            if entry.writers != 1:
+                raise LatchError("exclusive release without writer on %d" % page_id)
+            entry.writers = 0
+            op.write_latches -= 1
+        else:
+            if entry.readers < 1:
+                raise LatchError("shared release without readers on %d" % page_id)
+            entry.readers -= 1
+        woken = self._drain(page_id, entry)
+        if entry.idle:
+            del self._entries[page_id]
+        return woken
+
+    def _drain(self, page_id, entry):
+        woken = []
+        while entry.pending:
+            mode, waiter = entry.pending[0]
+            if not entry.can_grant(mode):
+                break
+            entry.pending.popleft()
+            self._grant(waiter, page_id, entry, mode)
+            woken.append(waiter)
+        return woken
+
+    def _grant(self, op, page_id, entry, mode):
+        if mode == EXCLUSIVE:
+            entry.writers += 1
+            op.write_latches += 1
+        else:
+            entry.readers += 1
+        op.held_latches[page_id] = mode
+        self.grants += 1
+
+    # ------------------------------------------------------------------
+    # introspection (tests / stats)
+    # ------------------------------------------------------------------
+
+    def holders(self, page_id):
+        entry = self._entries.get(page_id)
+        if entry is None:
+            return (0, 0, 0)
+        return (entry.readers, entry.writers, len(entry.pending))
+
+    def assert_quiescent(self):
+        """Raise unless no latch is held anywhere (end-of-run check)."""
+        if self._entries:
+            raise LatchError(
+                "latches still held on pages %r" % sorted(self._entries)
+            )

@@ -1,0 +1,75 @@
+"""Tree meta page.
+
+Page 0 of the tree's LBA range holds the root pointer, tree height,
+allocator watermark and geometry, so a tree can be reopened from the
+device alone.  The meta page is rewritten (through the same I/O path
+as any other page) whenever the root changes.
+"""
+
+from repro.errors import CorruptPageError
+from repro.storage.layout import PageReader, PageWriter
+
+META_MAGIC = 0x50415431  # "PAT1"
+META_VERSION = 1
+META_PAGE = 0
+
+
+class TreeMeta:
+    """Mutable in-memory copy of the on-media meta page."""
+
+    __slots__ = (
+        "page_size",
+        "payload_size",
+        "root_page",
+        "height",
+        "next_page",
+        "key_count",
+    )
+
+    def __init__(self, page_size, payload_size, root_page, height, next_page, key_count=0):
+        self.page_size = page_size
+        self.payload_size = payload_size
+        self.root_page = root_page
+        self.height = height
+        self.next_page = next_page
+        self.key_count = key_count
+
+    def to_bytes(self):
+        writer = PageWriter(self.page_size)
+        writer.u32(META_MAGIC)
+        writer.u16(META_VERSION)
+        writer.u16(0)
+        writer.u32(self.page_size)
+        writer.u32(self.payload_size)
+        writer.u64(self.root_page)
+        writer.u32(self.height)
+        writer.u32(0)
+        writer.u64(self.next_page)
+        writer.u64(self.key_count)
+        return writer.finish()
+
+    @classmethod
+    def from_bytes(cls, image):
+        reader = PageReader(image)
+        magic = reader.u32()
+        if magic != META_MAGIC:
+            raise CorruptPageError("bad meta magic 0x%08x" % magic)
+        version = reader.u16()
+        if version != META_VERSION:
+            raise CorruptPageError("unsupported meta version %d" % version)
+        reader.u16()
+        page_size = reader.u32()
+        payload_size = reader.u32()
+        root_page = reader.u64()
+        height = reader.u32()
+        reader.u32()
+        next_page = reader.u64()
+        key_count = reader.u64()
+        return cls(page_size, payload_size, root_page, height, next_page, key_count)
+
+    def __repr__(self):
+        return "TreeMeta(root=%d, height=%d, keys=%d)" % (
+            self.root_page,
+            self.height,
+            self.key_count,
+        )

@@ -1,0 +1,198 @@
+"""Index operations and their state machines (paper §III-A).
+
+Each index operation is decomposed into a finite sequence of
+transitions.  We express the transition graph as a Python generator
+that yields *effects* — latch requests, page reads, page writes, CPU
+charges — to the working-thread engine.  Between effects the operation
+is in a ready state; an effect that cannot complete immediately parks
+the operation in a waiting state:
+
+* ``IO_WAIT``    — waiting for the completion of submitted I/O
+                   commands (detected by the working thread's probe),
+* ``LATCH_WAIT`` — waiting in a node's FIFO pending-latch queue.
+
+The generator expression of the state machine is exactly equivalent to
+the paper's explicit state graph (Fig 5): every ``yield`` is a state,
+active transitions are the engine resuming the generator, passive
+transitions are I/O completion callbacks / latch grants moving the
+operation back into the ready set.
+"""
+
+# Operation kinds
+SEARCH = "search"
+RANGE = "range"
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+SYNC = "sync"
+
+UPDATE_KINDS = frozenset((INSERT, UPDATE, DELETE, SYNC))
+
+# Operation scheduling states
+ST_READY = "ready"
+ST_IO_WAIT = "io_wait"
+ST_LATCH_WAIT = "latch_wait"
+ST_DONE = "done"
+
+
+class Effect:
+    """Base class for everything an operation coroutine yields."""
+
+    __slots__ = ()
+
+
+class LatchEff(Effect):
+    """Request a latch on ``page_id``; resumes once granted."""
+
+    __slots__ = ("page_id", "mode")
+
+    def __init__(self, page_id, mode):
+        self.page_id = page_id
+        self.mode = mode
+
+
+class UnlatchEff(Effect):
+    """Release the latch held on ``page_id``."""
+
+    __slots__ = ("page_id",)
+
+    def __init__(self, page_id):
+        self.page_id = page_id
+
+
+class ReadEff(Effect):
+    """Read a node page; resumes with the parsed :class:`Node`."""
+
+    __slots__ = ("page_id",)
+
+    def __init__(self, page_id):
+        self.page_id = page_id
+
+
+class WriteEff(Effect):
+    """Persist one wave of modified nodes (plus optionally the meta page).
+
+    Under strong persistence the operation resumes only when every
+    write I/O in the wave completed; under weak persistence the writes
+    land in the read-write buffer and the operation resumes
+    immediately.  Ordering across waves is expressed by yielding
+    multiple ``WriteEff``s: an insert split writes newly created right
+    siblings in a first wave and the pages that point at them in a
+    second, so a crash between waves never leaves dangling pointers.
+    """
+
+    __slots__ = ("nodes", "write_meta")
+
+    def __init__(self, nodes, write_meta=False):
+        self.nodes = list(nodes)
+        self.write_meta = write_meta
+
+
+class ChargeEff(Effect):
+    """Charge ``ns`` of CPU in ``category`` (index real work)."""
+
+    __slots__ = ("ns", "category")
+
+    def __init__(self, ns, category):
+        self.ns = ns
+        self.category = category
+
+
+class SyncEff(Effect):
+    """Flush all buffered dirty pages; resumes when durable."""
+
+    __slots__ = ()
+
+
+class Operation:
+    """One in-flight index operation."""
+
+    __slots__ = (
+        "kind",
+        "key",
+        "payload",
+        "high_key",
+        "limit",
+        "seq",
+        "state",
+        "gen",
+        "resume_value",
+        "held_latches",
+        "write_latches",
+        "io_remaining",
+        "result",
+        "admit_ns",
+        "done_ns",
+        "on_complete",
+    )
+
+    def __init__(self, kind, key=0, payload=None, high_key=None, limit=0):
+        self.kind = kind
+        self.key = key
+        self.payload = payload
+        self.high_key = high_key
+        self.limit = limit
+        self.seq = -1
+        self.state = ST_READY
+        self.gen = None
+        self.resume_value = None
+        self.held_latches = {}
+        self.write_latches = 0
+        self.io_remaining = 0
+        self.result = None
+        self.admit_ns = None
+        self.done_ns = None
+        self.on_complete = None
+
+    @property
+    def is_update(self):
+        return self.kind in UPDATE_KINDS
+
+    @property
+    def done(self):
+        return self.state == ST_DONE
+
+    @property
+    def latency_ns(self):
+        if self.done_ns is None or self.admit_ns is None:
+            return None
+        return self.done_ns - self.admit_ns
+
+    def __repr__(self):
+        return "Operation(%s key=%d %s)" % (self.kind, self.key, self.state)
+
+
+def search_op(key, on_complete=None):
+    op = Operation(SEARCH, key=key)
+    op.on_complete = on_complete
+    return op
+
+
+def range_op(low, high, limit=0, on_complete=None):
+    op = Operation(RANGE, key=low, high_key=high, limit=limit)
+    op.on_complete = on_complete
+    return op
+
+
+def insert_op(key, payload, on_complete=None):
+    op = Operation(INSERT, key=key, payload=payload)
+    op.on_complete = on_complete
+    return op
+
+
+def update_op(key, payload, on_complete=None):
+    op = Operation(UPDATE, key=key, payload=payload)
+    op.on_complete = on_complete
+    return op
+
+
+def delete_op(key, on_complete=None):
+    op = Operation(DELETE, key=key)
+    op.on_complete = on_complete
+    return op
+
+
+def sync_op(on_complete=None):
+    op = Operation(SYNC)
+    op.on_complete = on_complete
+    return op

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the PA-Tree reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch a single base class at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while threads or operations still wait."""
+
+
+class DeviceError(ReproError):
+    """The NVMe device model rejected a request."""
+
+
+class QueueFullError(DeviceError):
+    """A submission queue ring has no free slot."""
+
+
+class StorageError(ReproError):
+    """The block storage layer rejected a request."""
+
+
+class PageBoundsError(StorageError):
+    """A page id falls outside the device capacity."""
+
+
+class AllocationError(StorageError):
+    """The page allocator ran out of free pages."""
+
+
+class CorruptPageError(StorageError):
+    """A page image failed structural validation on deserialization."""
+
+
+class TreeError(ReproError):
+    """The B+ tree detected an invariant violation or bad input."""
+
+
+class KeyEncodingError(TreeError):
+    """A key or payload cannot be encoded in the configured node format."""
+
+
+class LatchError(TreeError):
+    """Latch protocol violation (double release, unknown holder, ...)."""
+
+
+class SchedulerError(ReproError):
+    """The operation scheduler was misconfigured or misused."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""
+
+
+class BenchmarkError(ReproError):
+    """An experiment harness was misconfigured."""

@@ -1,0 +1,31 @@
+"""NVMe model: commands, ring queues, queue pairs, an event-driven
+device with internal parallelism and interface contention, and an
+SPDK-style polled-mode driver facade."""
+
+from repro.nvme.command import NvmeCommand, OP_READ, OP_WRITE
+from repro.nvme.device import (
+    DeviceProfile,
+    NvmeDevice,
+    fast_test_profile,
+    i3_nvme_profile,
+    optane_profile,
+)
+from repro.nvme.driver import NvmeDriver
+from repro.nvme.latency import ServiceTimeModel
+from repro.nvme.qpair import QueuePair
+from repro.nvme.queue import Ring
+
+__all__ = [
+    "NvmeCommand",
+    "OP_READ",
+    "OP_WRITE",
+    "NvmeDevice",
+    "NvmeDriver",
+    "DeviceProfile",
+    "ServiceTimeModel",
+    "QueuePair",
+    "Ring",
+    "i3_nvme_profile",
+    "fast_test_profile",
+    "optane_profile",
+]

@@ -1,0 +1,62 @@
+"""NVMe command objects.
+
+A command carries the opcode, target LBA (page id), an optional data
+payload (for writes), a completion callback and the context pointer the
+application attached — exactly the fields an SPDK submission carries.
+Timestamps are filled in by the device model so experiments can compute
+per-I/O latency.
+"""
+
+OP_READ = "read"
+OP_WRITE = "write"
+
+_OPCODES = (OP_READ, OP_WRITE)
+
+
+class NvmeCommand:
+    """One I/O command travelling through a queue pair."""
+
+    __slots__ = (
+        "opcode",
+        "lba",
+        "data",
+        "callback",
+        "context",
+        "qpair",
+        "submit_ns",
+        "fetch_ns",
+        "complete_ns",
+        "visible_ns",
+        "status",
+    )
+
+    def __init__(self, opcode, lba, data=None, callback=None, context=None):
+        if opcode not in _OPCODES:
+            raise ValueError("unknown opcode %r" % (opcode,))
+        if lba < 0:
+            raise ValueError("negative lba %r" % (lba,))
+        self.opcode = opcode
+        self.lba = lba
+        self.data = data
+        self.callback = callback
+        self.context = context
+        self.qpair = None
+        self.submit_ns = None
+        self.fetch_ns = None
+        self.complete_ns = None
+        self.visible_ns = None
+        self.status = "pending"
+
+    @property
+    def is_write(self):
+        return self.opcode == OP_WRITE
+
+    @property
+    def latency_ns(self):
+        """Submit-to-completion-visible latency, once completed."""
+        if self.visible_ns is None or self.submit_ns is None:
+            return None
+        return self.visible_ns - self.submit_ns
+
+    def __repr__(self):
+        return "NvmeCommand(%s lba=%d %s)" % (self.opcode, self.lba, self.status)

@@ -1,0 +1,38 @@
+"""Queue pairs: one submission ring plus one completion ring.
+
+Applications allocate queue pairs through the driver; the paper's
+dedicated baseline gives every working thread its own pair, while
+PA-Tree drives a single pair from its working thread.
+"""
+
+from repro.nvme.queue import Ring
+
+
+class QueuePair:
+    """A submission/completion queue pair owned by one application actor."""
+
+    __slots__ = ("qid", "sq", "cq", "outstanding", "submitted", "completed")
+
+    def __init__(self, qid, sq_size=1024, cq_size=1024):
+        self.qid = qid
+        self.sq = Ring(sq_size, name="sq-%d" % qid)
+        self.cq = Ring(cq_size, name="cq-%d" % qid)
+        self.outstanding = 0
+        self.submitted = 0
+        self.completed = 0
+
+    @property
+    def has_pending_submissions(self):
+        return not self.sq.is_empty
+
+    @property
+    def has_visible_completions(self):
+        return not self.cq.is_empty
+
+    def __repr__(self):
+        return "QueuePair(qid=%d, sq=%d, cq=%d, outstanding=%d)" % (
+            self.qid,
+            len(self.sq),
+            len(self.cq),
+            self.outstanding,
+        )

@@ -1,0 +1,64 @@
+"""Fixed-capacity ring buffers for submission and completion queues.
+
+NVMe queues are rings in host memory; we model the capacity limit (a
+full submission queue rejects new commands, as the real driver would)
+while keeping the implementation a simple circular list.
+"""
+
+from repro.errors import QueueFullError
+
+
+class Ring:
+    """Bounded FIFO ring buffer."""
+
+    __slots__ = ("capacity", "_slots", "_head", "_count", "name")
+
+    def __init__(self, capacity, name="ring"):
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._slots = [None] * capacity
+        self._head = 0
+        self._count = 0
+        self.name = name
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def is_full(self):
+        return self._count == self.capacity
+
+    @property
+    def is_empty(self):
+        return self._count == 0
+
+    @property
+    def free_slots(self):
+        return self.capacity - self._count
+
+    def push(self, item):
+        """Append an item; raises :class:`QueueFullError` when full."""
+        if self.is_full:
+            raise QueueFullError("%s is full (capacity %d)" % (self.name, self.capacity))
+        tail = (self._head + self._count) % self.capacity
+        self._slots[tail] = item
+        self._count += 1
+
+    def pop(self):
+        """Remove and return the oldest item, or ``None`` when empty."""
+        if self._count == 0:
+            return None
+        item = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        return item
+
+    def peek(self):
+        if self._count == 0:
+            return None
+        return self._slots[self._head]
+
+    def __repr__(self):
+        return "Ring(%r, %d/%d)" % (self.name, self._count, self.capacity)

@@ -1,0 +1,7 @@
+"""Polled-mode asynchronous LSM store: the paper's future-work
+direction, implemented on the same paradigm machinery."""
+
+from repro.palsm.store import AsyncLsmStore, OP_COMPACT, OP_FLUSH
+from repro.palsm.worker import PolledLsmWorker
+
+__all__ = ["AsyncLsmStore", "PolledLsmWorker", "OP_FLUSH", "OP_COMPACT"]

@@ -1,0 +1,424 @@
+"""Asynchronous LSM store state and operation plans.
+
+The paper's future-work item ("applying our polled-mode, asynchronous
+programming model on LSM tree is out of the scope of this paper"),
+implemented: a LevelDB-shaped store — active + immutable memtables,
+WAL, leveled SSTables with Bloom filters and a block cache — whose
+reads, WAL flushes, memtable flushes and compactions are all operation
+state machines interleaved by one polled-mode working thread.
+
+Because a single worker drives every transition, no latches or mutexes
+exist anywhere: memtable rotation, table installation and level swaps
+are plain-Python steps that are atomic between yields.  The only
+cross-operation hazard — a lookup holding a page reference while a
+compaction retires its table — is handled with an epoch quarantine:
+pages of dropped tables are only returned to the allocator once every
+operation admitted before the swap has completed.
+
+Plans yield the effects consumed by
+:class:`repro.palsm.worker.PolledLsmWorker`:
+
+* ``ReadPageEff(lba)``        — one page, through the block cache,
+* ``ReadBatchEff(lbas)``      — many pages concurrently (compaction
+                                 fan-out: the paradigm's advantage),
+* ``WriteBatchEff(pages)``    — write and wait for completion,
+* ``BackgroundWriteEff(pages)`` — write without waiting (group-commit
+                                 WAL flushes),
+* ``ChargeEff(ns, category)`` — CPU accounting.
+"""
+
+from repro.baselines.lsm.memtable import MemTable
+from repro.baselines.lsm.sstable import SSTable, decode_page
+from repro.buffer.lru import LruCache
+from repro.core.ops import (
+    ChargeEff,
+    DELETE,
+    INSERT,
+    Operation,
+    RANGE,
+    SEARCH,
+    SYNC,
+    UPDATE,
+)
+from repro.errors import StorageError, TreeError
+from repro.sim.clock import usec
+from repro.sim.metrics import CPU_REAL_WORK
+from repro.storage.allocator import PageAllocator
+from repro.storage.wal import WriteAheadLog
+
+OP_FLUSH = "lsm_flush"
+OP_COMPACT = "lsm_compact"
+
+
+class ReadPageEff:
+    __slots__ = ("lba",)
+
+    def __init__(self, lba):
+        self.lba = lba
+
+
+class ReadBatchEff:
+    __slots__ = ("lbas",)
+
+    def __init__(self, lbas):
+        self.lbas = list(lbas)
+
+
+class WriteBatchEff:
+    __slots__ = ("pages",)
+
+    def __init__(self, pages):
+        self.pages = list(pages)  # (lba, image)
+
+
+class BackgroundWriteEff:
+    __slots__ = ("pages", "on_complete")
+
+    def __init__(self, pages, on_complete=None):
+        self.pages = list(pages)
+        self.on_complete = on_complete
+
+
+class AsyncLsmStore:
+    """Shared state of the polled-mode asynchronous LSM store."""
+
+    def __init__(
+        self,
+        device,
+        persistence="strong",
+        memtable_entries=1_000,
+        level0_limit=4,
+        level_ratio=4,
+        level1_tables=8,
+        block_cache_pages=1_024,
+        wal_pages=65_536,
+    ):
+        if persistence not in ("strong", "weak"):
+            raise TreeError("unknown persistence %r" % (persistence,))
+        self.device = device
+        self.persistence = persistence
+        self.memtable_entries = memtable_entries
+        self.level0_limit = level0_limit
+        self.level_ratio = level_ratio
+        self.level1_tables = level1_tables
+        page_size = device.profile.page_size
+        self.page_size = page_size
+        self.wal = WriteAheadLog(page_size, base_lba=1, num_pages=wal_pages)
+        self.allocator = PageAllocator(
+            base=1 + wal_pages,
+            capacity=device.profile.capacity_pages - 1 - wal_pages,
+        )
+        self.active = MemTable()
+        self.immutables = []  # newest first
+        self.levels = [[]]  # levels[0] newest-first; 1+ sorted by min_key
+        self.cache = LruCache(block_cache_pages)
+        self._flush_scheduled = False
+        self._compact_scheduled = False
+        self._pending_frees = []  # (barrier_seq, [lbas])
+        self.flushes = 0
+        self.compactions = 0
+        # hooks the worker installs
+        self.enqueue_internal = None  # fn(op)
+        self.next_seq = lambda: 0
+        # CPU cost knobs
+        self.apply_cost_ns = usec(0.5)
+        self.probe_cost_ns = usec(0.3)
+        self.merge_cost_ns_per_entry = usec(0.05)
+
+    # ------------------------------------------------------------------
+    # bulk loading (offline)
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items):
+        items = list(items)
+        if not items:
+            return
+        if any(items[i][0] >= items[i + 1][0] for i in range(len(items) - 1)):
+            raise StorageError("bulk_load input must be sorted and unique")
+        while len(self.levels) < 2:
+            self.levels.append([])
+        for start in range(0, len(items), self.memtable_entries):
+            chunk = items[start:start + self.memtable_entries]
+            table, images = SSTable.plan(self.page_size, chunk)
+            for index, image in enumerate(images):
+                lba = self.allocator.allocate()
+                table.page_lbas[index] = lba
+                self.device.raw_write(lba, image)
+            self.levels[1].append(table)
+        self.levels[1].sort(key=lambda table: table.min_key)
+
+    def data_pages(self):
+        return sum(len(t.page_lbas) for level in self.levels for t in level)
+
+    def resize_block_cache(self, pages):
+        self.cache = LruCache(max(pages, 8))
+
+    # ------------------------------------------------------------------
+    # epoch quarantine for freed pages
+    # ------------------------------------------------------------------
+
+    def defer_free(self, lbas):
+        self._pending_frees.append((self.next_seq(), list(lbas)))
+
+    def release_frees(self, min_active_seq):
+        """Free quarantined pages once no pre-swap operation remains."""
+        kept = []
+        for barrier, lbas in self._pending_frees:
+            if min_active_seq > barrier:
+                for lba in lbas:
+                    self.allocator.free(lba)
+                    self.cache.pop(lba)
+            else:
+                kept.append((barrier, lbas))
+        self._pending_frees = kept
+
+    # ------------------------------------------------------------------
+    # plan factory
+    # ------------------------------------------------------------------
+
+    def make_plan(self, op):
+        if op.kind == SEARCH:
+            return self._get_plan(op)
+        if op.kind == RANGE:
+            return self._range_plan(op)
+        if op.kind in (INSERT, UPDATE):
+            return self._put_plan(op, op.payload)
+        if op.kind == DELETE:
+            return self._put_plan(op, None)
+        if op.kind == SYNC:
+            return self._sync_plan(op)
+        if op.kind == OP_FLUSH:
+            return self._flush_plan(op)
+        if op.kind == OP_COMPACT:
+            return self._compact_plan(op)
+        raise TreeError("unknown operation kind %r" % (op.kind,))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def _memory_lookup(self, key):
+        found, value = self.active.get(key)
+        if found:
+            return True, value
+        for memtable in self.immutables:
+            found, value = memtable.get(key)
+            if found:
+                return True, value
+        return False, None
+
+    def _get_plan(self, op):
+        yield ChargeEff(self.apply_cost_ns, CPU_REAL_WORK)
+        found, value = self._memory_lookup(op.key)
+        if found:
+            op.result = value
+            return
+        key = op.key
+        # snapshot the table lists: a compaction interleaved between our
+        # yields mutates them in place, and the epoch quarantine keeps
+        # every snapshotted table's pages readable until we complete
+        levels = [list(tables) for tables in self.levels]
+        for tables in levels:
+            for table in tables:
+                if not table.overlaps(key, key):
+                    continue
+                if not table.bloom.may_contain(key):
+                    continue
+                page_index = table.page_index_for(key)
+                if page_index is None:
+                    continue
+                yield ChargeEff(self.probe_cost_ns, CPU_REAL_WORK)
+                image = yield ReadPageEff(table.page_lbas[page_index])
+                for entry_key, entry_value in decode_page(image):
+                    if entry_key == key:
+                        op.result = entry_value
+                        return
+        op.result = None
+
+    def _range_plan(self, op):
+        yield ChargeEff(self.apply_cost_ns, CPU_REAL_WORK)
+        low, high = op.key, op.high_key
+        merged = {}
+        levels = [list(tables) for tables in self.levels]  # see _get_plan
+        memtables = list(self.immutables)
+        # oldest first so newer versions overwrite
+        for tables in reversed(levels):
+            for table in reversed(tables):
+                if not table.overlaps(low, high):
+                    continue
+                start, end = table.page_range_for(low, high)
+                lbas = table.page_lbas[start:end]
+                if not lbas:
+                    continue
+                images = yield ReadBatchEff(lbas)
+                for image in images:
+                    for key, value in decode_page(image):
+                        if low <= key <= high:
+                            merged[key] = value
+        for memtable in reversed(memtables):
+            for key, value in memtable.range_items(low, high):
+                merged[key] = value
+        for key, value in self.active.range_items(low, high):
+            merged[key] = value
+        results = [(k, v) for k, v in sorted(merged.items()) if v is not None]
+        if op.limit:
+            results = results[: op.limit]
+        op.result = results
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wal_record(key, value):
+        if value is None:
+            return b"D" + key.to_bytes(8, "little")
+        return b"P" + key.to_bytes(8, "little") + value
+
+    def _put_plan(self, op, value):
+        yield ChargeEff(self.apply_cost_ns, CPU_REAL_WORK)
+        self.wal.append(self._wal_record(op.key, value))
+        if value is None:
+            self.active.delete(op.key)
+        else:
+            self.active.put(op.key, value)
+        if self.persistence == "strong":
+            writes, flush_lsn = self.wal.take_flushable(True)
+            if writes:
+                yield WriteBatchEff(writes)
+                self.wal.mark_durable(flush_lsn)
+        else:
+            writes, flush_lsn = self.wal.take_flushable(False)
+            if writes:
+                # group commit: flush sealed log pages without blocking
+                # this operation; durability is acknowledged when the
+                # batch completes (batches may overlap, so this can
+                # over-claim by one in-flight batch -- acceptable for
+                # weak persistence, documented in DESIGN.md)
+                yield BackgroundWriteEff(
+                    writes, lambda lsn=flush_lsn: self.wal.mark_durable(lsn)
+                )
+        op.result = True
+        self._maybe_rotate()
+
+    def _maybe_rotate(self):
+        if len(self.active) < self.memtable_entries:
+            return
+        self.immutables.insert(0, self.active)
+        self.active = MemTable()
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.enqueue_internal(Operation(OP_FLUSH))
+
+    def _sync_plan(self, op):
+        writes, flush_lsn = self.wal.take_flushable(True)
+        if writes:
+            yield WriteBatchEff(writes)
+            self.wal.mark_durable(flush_lsn)
+        op.result = len(writes)
+
+    # ------------------------------------------------------------------
+    # internal maintenance operations
+    # ------------------------------------------------------------------
+
+    def _flush_plan(self, op):
+        # _flush_scheduled stays True for the whole plan so rotations
+        # that happen while a table write is in flight do not enqueue a
+        # second, racing flush; this plan drains them all.
+        while self.immutables:
+            memtable = self.immutables[-1]  # oldest first
+            items = memtable.sorted_items()
+            self.flushes += 1
+            yield ChargeEff(
+                len(items) * self.merge_cost_ns_per_entry, CPU_REAL_WORK
+            )
+            table, images = SSTable.plan(self.page_size, items)
+            pages = []
+            for index, image in enumerate(images):
+                lba = self.allocator.allocate()
+                table.page_lbas[index] = lba
+                pages.append((lba, image))
+            yield WriteBatchEff(pages)  # all pages in flight concurrently
+            # install, then retire the memtable (it stayed readable for
+            # lookups while its table was being written)
+            self.levels[0].insert(0, table)
+            self.immutables.remove(memtable)
+        self._flush_scheduled = False
+        if len(self.levels[0]) > self.level0_limit and not self._compact_scheduled:
+            self._compact_scheduled = True
+            self.enqueue_internal(Operation(OP_COMPACT))
+        op.result = True
+
+    def _level_budget(self, level):
+        return self.level1_tables * (self.level_ratio ** (level - 1))
+
+    def _compact_plan(self, op):
+        # the guard stays True for the whole plan (see _flush_plan):
+        # a flush finishing mid-compaction must not start a second,
+        # racing compaction over the same tables
+        progressed = True
+        while progressed:
+            progressed = False
+            if len(self.levels[0]) > self.level0_limit:
+                yield from self._compact_level(0)
+                progressed = True
+                continue
+            for level in range(1, len(self.levels)):
+                if len(self.levels[level]) > self._level_budget(level):
+                    yield from self._compact_level(level)
+                    progressed = True
+                    break
+        self._compact_scheduled = False
+        op.result = True
+
+    def _compact_level(self, level):
+        self.compactions += 1
+        if len(self.levels) <= level + 1:
+            self.levels.append([])
+        picked = list(self.levels[level]) if level == 0 else [self.levels[level][0]]
+        low = min(table.min_key for table in picked)
+        high = max(table.max_key for table in picked)
+        below = [t for t in self.levels[level + 1] if t.overlaps(low, high)]
+        sources = picked + below
+
+        # read every source page concurrently -- the paradigm's win
+        all_lbas = [lba for table in sources for lba in table.page_lbas]
+        images = yield ReadBatchEff(all_lbas)
+        image_for = dict(zip(all_lbas, images))
+
+        entries = {}
+        for source in reversed(sources):  # oldest first; newer overwrite
+            for lba in source.page_lbas:
+                for key, value in decode_page(image_for[lba]):
+                    entries[key] = value
+        items = sorted(entries.items())
+        is_bottom = level + 2 == len(self.levels) and not self.levels[level + 1]
+        if is_bottom:
+            items = [(k, v) for k, v in items if v is not None]
+        yield ChargeEff(len(items) * self.merge_cost_ns_per_entry, CPU_REAL_WORK)
+
+        new_tables = []
+        pages = []
+        for start in range(0, len(items), self.memtable_entries):
+            chunk = items[start:start + self.memtable_entries]
+            if not chunk:
+                continue
+            table, chunk_images = SSTable.plan(self.page_size, chunk)
+            for index, image in enumerate(chunk_images):
+                lba = self.allocator.allocate()
+                table.page_lbas[index] = lba
+                pages.append((lba, image))
+            new_tables.append(table)
+        if pages:
+            yield WriteBatchEff(pages)
+
+        # atomic swap (single worker: no reader can interleave here)
+        for table in picked:
+            self.levels[level].remove(table)
+        for table in below:
+            self.levels[level + 1].remove(table)
+        self.levels[level + 1].extend(new_tables)
+        self.levels[level + 1].sort(key=lambda table: table.min_key)
+        self.defer_free(
+            [lba for table in picked + below for lba in table.page_lbas]
+        )

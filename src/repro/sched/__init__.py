@@ -1,0 +1,29 @@
+"""Operation scheduling: the paper's naive (Algorithm 1) and
+workload-aware (Algorithm 2) schedulers, the linear-regression probe
+model, ready-queue implementations and the Fig 10 probing baselines."""
+
+from repro.sched.base import SchedulingPolicy
+from repro.sched.history import IoHistory
+from repro.sched.naive import NaiveScheduling
+from repro.sched.policies import AvgLatencyProbing, FixedRateProbing
+from repro.sched.priority import FifoReadyQueue, PriorityReadyQueue
+from repro.sched.probe_model import (
+    LinearProbeModel,
+    cached_probe_model,
+    train_probe_model,
+)
+from repro.sched.workload_aware import WorkloadAwareScheduling
+
+__all__ = [
+    "SchedulingPolicy",
+    "NaiveScheduling",
+    "WorkloadAwareScheduling",
+    "FixedRateProbing",
+    "AvgLatencyProbing",
+    "IoHistory",
+    "LinearProbeModel",
+    "train_probe_model",
+    "cached_probe_model",
+    "FifoReadyQueue",
+    "PriorityReadyQueue",
+]

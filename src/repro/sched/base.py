@@ -1,0 +1,60 @@
+"""Scheduling policy interface.
+
+A policy owns the ready set ``R(C)`` and decides, each iteration of
+the working thread's main loop: which ready operation to process next,
+whether to probe the NVMe completion queue now, and whether the thread
+may yield its core when there is nothing to do.  The engine charges
+the policy's bookkeeping CPU (``pick_cost_ns`` / ``gate_cost_ns``) to
+the ``scheduling`` category so Fig 9 can show scheduling overhead
+explicitly.
+"""
+
+
+class SchedulingPolicy:
+    """Base policy; concrete policies override the decision points."""
+
+    name = "base"
+
+    def __init__(self):
+        self.engine = None
+
+    def bind(self, engine):
+        """Called once by the PA engine before the run starts."""
+        self.engine = engine
+
+    # ready set --------------------------------------------------------
+
+    def on_ready(self, op):
+        raise NotImplementedError
+
+    def pick(self):
+        raise NotImplementedError
+
+    def ready_count(self):
+        raise NotImplementedError
+
+    # probe gating ------------------------------------------------------
+
+    def should_probe(self):
+        """Probe the completion queue in this loop iteration?"""
+        raise NotImplementedError
+
+    def note_probe(self, now_ns, completions):
+        """Engine reports every probe it performed."""
+
+    # idling -------------------------------------------------------------
+
+    def idle_sleep_ns(self):
+        """When nothing is ready: >0 = yield the CPU for that long,
+        0 = busy-spin (the engine charges the spin to ``scheduling``)."""
+        return 0
+
+    # CPU cost hooks ------------------------------------------------------
+    # Engines expose ``sched_pick_cost_ns`` / ``sched_gate_cost_ns`` so
+    # policies work against any polled-mode engine (B+ tree or LSM).
+
+    def pick_cost_ns(self):
+        return self.engine.sched_pick_cost_ns
+
+    def gate_cost_ns(self):
+        return 0

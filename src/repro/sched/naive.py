@@ -1,0 +1,35 @@
+"""Naive scheduling (paper Algorithm 1).
+
+Process ready operations in admission order and probe the NVMe
+interface on every main-loop iteration.  No completion estimation, no
+prioritization, no CPU yielding: when idle the thread spins in the
+main loop, probing as it goes.
+"""
+
+from repro.sched.base import SchedulingPolicy
+from repro.sched.priority import FifoReadyQueue
+
+
+class NaiveScheduling(SchedulingPolicy):
+    """Algorithm 1: FIFO processing, probe every iteration, never yield."""
+
+    name = "naive"
+
+    def __init__(self):
+        super().__init__()
+        self._ready = FifoReadyQueue()
+
+    def on_ready(self, op):
+        self._ready.push(op)
+
+    def pick(self):
+        return self._ready.pop()
+
+    def ready_count(self):
+        return len(self._ready)
+
+    def should_probe(self):
+        return True
+
+    def idle_sleep_ns(self):
+        return 0

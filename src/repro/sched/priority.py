@@ -1,0 +1,57 @@
+"""Ready-operation queues (paper §IV-B).
+
+Two implementations of the ready set ``R(C)``:
+
+* :class:`FifoReadyQueue` — plain admission order (the naive
+  scheduler, and the "without prioritized execution" arm of Fig 12).
+* :class:`PriorityReadyQueue` — the paper's prioritized execution: an
+  operation holding write latches is processed before others (so its
+  exclusive latches release sooner, improving concurrency under
+  contention), and ties break by admission order (older first, bounding
+  individual latency).
+
+The priority is computed when the operation (re-)enters the ready set,
+which is exactly when its latch holdings last changed.
+"""
+
+import heapq
+from collections import deque
+
+
+class FifoReadyQueue:
+    """First-in-first-out ready set."""
+
+    def __init__(self):
+        self._queue = deque()
+
+    def __len__(self):
+        return len(self._queue)
+
+    def push(self, op):
+        self._queue.append(op)
+
+    def pop(self):
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+
+class PriorityReadyQueue:
+    """Write-latch holders first, then admission order."""
+
+    def __init__(self):
+        self._heap = []
+        self._tiebreak = 0
+
+    def __len__(self):
+        return len(self._heap)
+
+    def push(self, op):
+        holds_write = 1 if op.write_latches == 0 else 0
+        self._tiebreak += 1
+        heapq.heappush(self._heap, (holds_write, op.seq, self._tiebreak, op))
+
+    def pop(self):
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[3]

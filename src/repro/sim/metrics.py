@@ -1,0 +1,166 @@
+"""Measurement primitives.
+
+The paper reports throughput, mean latency, IOPS, time-averaged
+outstanding I/Os, CPU cores consumed, context-switch counts and a CPU
+breakdown by activity.  These recorders provide each of those as exact
+accounted quantities in virtual time.
+"""
+
+import math
+
+from repro.sim.clock import NS_PER_SEC, to_usec
+
+# CPU burst categories used for the Fig 9 breakdown.
+CPU_REAL_WORK = "real_work"
+CPU_SYNC = "synchronization"
+CPU_NVME = "nvme"
+CPU_SCHED = "scheduling"
+CPU_OTHER = "other"
+
+CPU_CATEGORIES = (CPU_REAL_WORK, CPU_SYNC, CPU_NVME, CPU_SCHED, CPU_OTHER)
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, n=1):
+        self.value += n
+
+    def __repr__(self):
+        return "Counter(%d)" % self.value
+
+
+class TimeWeightedGauge:
+    """Tracks the time integral of a piecewise-constant quantity.
+
+    Used for time-averaged queue depth / outstanding I/Os: each change
+    is recorded with the clock, and :meth:`average` divides the integral
+    by elapsed time.
+    """
+
+    __slots__ = ("_clock", "_value", "_last_ns", "_area", "_max")
+
+    def __init__(self, clock, initial=0):
+        self._clock = clock
+        self._value = initial
+        self._last_ns = clock.now
+        self._area = 0.0
+        self._max = initial
+
+    @property
+    def value(self):
+        return self._value
+
+    @property
+    def max_value(self):
+        return self._max
+
+    def set(self, value):
+        now = self._clock.now
+        self._area += self._value * (now - self._last_ns)
+        self._last_ns = now
+        self._value = value
+        if value > self._max:
+            self._max = value
+
+    def add(self, delta):
+        self.set(self._value + delta)
+
+    def average(self, since_ns=0):
+        """Time-weighted mean of the gauge from ``since_ns`` to now."""
+        now = self._clock.now
+        elapsed = now - since_ns
+        if elapsed <= 0:
+            return float(self._value)
+        area = self._area + self._value * (now - self._last_ns)
+        return area / elapsed
+
+
+class LatencyRecorder:
+    """Stores latency samples (ns) and reports summary statistics."""
+
+    def __init__(self):
+        self._samples = []
+        self._sorted = True
+
+    def __len__(self):
+        return len(self._samples)
+
+    def record(self, latency_ns):
+        self._samples.append(latency_ns)
+        self._sorted = False
+
+    def mean_usec(self):
+        if not self._samples:
+            return 0.0
+        return to_usec(sum(self._samples) / len(self._samples))
+
+    def percentile_usec(self, q):
+        """q-th percentile in microseconds, q in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        if len(self._samples) == 1:
+            return to_usec(self._samples[0])
+        rank = (q / 100.0) * (len(self._samples) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return to_usec(self._samples[lo])
+        frac = rank - lo
+        interp = self._samples[lo] * (1 - frac) + self._samples[hi] * frac
+        return to_usec(interp)
+
+    def p50_usec(self):
+        return self.percentile_usec(50)
+
+    def p99_usec(self):
+        return self.percentile_usec(99)
+
+    def max_usec(self):
+        if not self._samples:
+            return 0.0
+        return to_usec(max(self._samples))
+
+
+class CpuAccount:
+    """CPU time ledger, split by activity category (for Fig 9)."""
+
+    def __init__(self):
+        self.by_category = {name: 0 for name in CPU_CATEGORIES}
+        self.total_ns = 0
+
+    def charge(self, ns, category=CPU_OTHER):
+        if category not in self.by_category:
+            category = CPU_OTHER
+        self.by_category[category] += ns
+        self.total_ns += ns
+
+    def fraction(self, category):
+        if self.total_ns == 0:
+            return 0.0
+        return self.by_category.get(category, 0) / self.total_ns
+
+    def merged(self, other):
+        """Return a new account summing this one with ``other``."""
+        out = CpuAccount()
+        for name in CPU_CATEGORIES:
+            out.by_category[name] = (
+                self.by_category[name] + other.by_category[name]
+            )
+        out.total_ns = self.total_ns + other.total_ns
+        return out
+
+
+def throughput_per_sec(count, elapsed_ns):
+    """Operations (or I/Os) per second of virtual time."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return count * NS_PER_SEC / elapsed_ns

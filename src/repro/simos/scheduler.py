@@ -1,0 +1,288 @@
+"""Multicore OS scheduler for simulated threads.
+
+Models the costs the paper attributes to the traditional synchronous
+execution paradigm: context switches when a core changes thread,
+time-slice preemption under oversubscription, semaphore syscall cost
+and wakeup latency.  The PA-Tree working thread runs on the same
+scheduler but, because it never blocks, it incurs essentially none of
+these costs — which is the paper's central claim, here made an exact
+accounted quantity (Table I / Table II / Fig 9).
+"""
+
+from collections import deque
+from functools import partial
+
+from repro.errors import SimulationError
+from repro.sim.clock import msec, usec
+from repro.sim.metrics import CPU_OTHER, CPU_SYNC, Counter, CpuAccount
+from repro.simos.thread import (
+    Cpu,
+    SemPost,
+    SemWait,
+    SimThread,
+    Sleep,
+    T_BLOCKED,
+    T_DONE,
+    T_RUNNABLE,
+    T_RUNNING,
+    T_SLEEPING,
+    YieldCpu,
+)
+
+
+class OsProfile:
+    """Cost parameters of the simulated OS.
+
+    Defaults model the paper's testbed: 8 physical cores, a few-us
+    context switch, sub-us futex-style semaphore syscalls and a small
+    wakeup latency; the time slice reflects scheduling granularity
+    under heavy oversubscription.
+    """
+
+    __slots__ = (
+        "cores",
+        "context_switch_ns",
+        "quantum_ns",
+        "sem_syscall_ns",
+        "wakeup_ns",
+    )
+
+    def __init__(
+        self,
+        cores=8,
+        context_switch_ns=usec(3),
+        quantum_ns=usec(200),
+        sem_syscall_ns=usec(0.8),
+        wakeup_ns=usec(2),
+    ):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.cores = cores
+        self.context_switch_ns = context_switch_ns
+        self.quantum_ns = quantum_ns
+        self.sem_syscall_ns = sem_syscall_ns
+        self.wakeup_ns = wakeup_ns
+
+
+class Core:
+    """One simulated CPU core."""
+
+    __slots__ = ("index", "current", "last_tid", "busy_ns")
+
+    def __init__(self, index):
+        self.index = index
+        self.current = None
+        self.last_tid = None
+        self.busy_ns = 0
+
+
+class SimOS:
+    """The simulated operating system: cores, run queue, semaphores."""
+
+    def __init__(self, engine, profile=None):
+        self.engine = engine
+        self.profile = profile or OsProfile()
+        self.cores = [Core(i) for i in range(self.profile.cores)]
+        self._idle = list(reversed(self.cores))
+        self.run_queue = deque()
+        self.threads = []
+        self.context_switches = Counter()
+        self.preemptions = Counter()
+        self.sem_blocks = Counter()
+        self._next_tid = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def spawn(self, gen, name="thread", group="default"):
+        """Register a generator as a runnable simulated thread."""
+        thread = SimThread(self._next_tid, name, group, gen)
+        self._next_tid += 1
+        self.threads.append(thread)
+        self._make_runnable(thread)
+        return thread
+
+    def live_threads(self):
+        return [t for t in self.threads if not t.done]
+
+    def blocked_threads(self):
+        return [t for t in self.threads if t.state in (T_BLOCKED, T_SLEEPING)]
+
+    def total_busy_ns(self):
+        """Total core-busy time (includes context-switch overhead)."""
+        return sum(core.busy_ns for core in self.cores)
+
+    def cores_used(self, since_busy_ns, since_time_ns):
+        """Average number of cores busy since a snapshot.
+
+        Callers snapshot ``total_busy_ns()`` and the clock at the start
+        of a measurement window and pass both here at the end.
+        """
+        elapsed = self.engine.now - since_time_ns
+        if elapsed <= 0:
+            return 0.0
+        return (self.total_busy_ns() - since_busy_ns) / elapsed
+
+    def cpu_account(self, group=None):
+        """Merged CPU ledger across threads, optionally one group."""
+        merged = CpuAccount()
+        for thread in self.threads:
+            if group is None or thread.group == group:
+                merged = merged.merged(thread.account)
+        return merged
+
+    # ------------------------------------------------------------------
+    # scheduling internals
+    # ------------------------------------------------------------------
+
+    def _make_runnable(self, thread):
+        thread.state = T_RUNNABLE
+        if self._idle:
+            self._dispatch_to(self._idle.pop(), thread)
+        else:
+            self.run_queue.append(thread)
+
+    def _release_core(self, thread):
+        core = thread.core
+        if core is None:
+            raise SimulationError("%r not on a core" % thread)
+        thread.core = None
+        core.last_tid = thread.tid
+        core.current = None
+        if self.run_queue:
+            self._dispatch_to(core, self.run_queue.popleft())
+        else:
+            self._idle.append(core)
+
+    def _dispatch_to(self, core, thread):
+        switching = core.last_tid is not None and core.last_tid != thread.tid
+        core.current = thread
+        thread.core = core
+        thread.state = T_RUNNING
+        if switching:
+            cs = self.profile.context_switch_ns
+            self.context_switches.add()
+            thread.account.charge(cs, CPU_OTHER)
+            core.busy_ns += cs
+            thread.quantum_start_ns = self.engine.now + cs
+            self.engine.schedule(cs, partial(self._step, thread))
+        else:
+            thread.quantum_start_ns = self.engine.now
+            self._step(thread)
+
+    def _finish(self, thread):
+        thread.state = T_DONE
+        self._release_core(thread)
+        callbacks = thread.on_exit
+        thread.on_exit = []
+        for callback in callbacks:
+            callback(thread)
+
+    def _step(self, thread):
+        """Advance the generator, handling zero-cost instructions inline."""
+        profile = self.profile
+        while True:
+            try:
+                instr = thread.gen.send(thread.send_value)
+            except StopIteration:
+                self._finish(thread)
+                return
+            thread.send_value = None
+
+            if type(instr) is Cpu:
+                if instr.ns == 0:
+                    continue
+                thread.account.charge(instr.ns, instr.category)
+                thread.core.busy_ns += instr.ns
+                self.engine.schedule(instr.ns, partial(self._after_cpu, thread))
+                return
+
+            if type(instr) is SemWait:
+                cost = profile.sem_syscall_ns
+                thread.account.charge(cost, CPU_SYNC)
+                thread.core.busy_ns += cost
+                instr.sem.wait_count += 1
+                self.engine.schedule(
+                    cost, partial(self._sem_wait_cont, thread, instr.sem)
+                )
+                return
+
+            if type(instr) is SemPost:
+                cost = profile.sem_syscall_ns
+                thread.account.charge(cost, CPU_SYNC)
+                thread.core.busy_ns += cost
+                self.engine.schedule(
+                    cost, partial(self._sem_post_cont, thread, instr.sem)
+                )
+                return
+
+            if type(instr) is Sleep:
+                thread.state = T_SLEEPING
+                self._release_core(thread)
+                self.engine.schedule(
+                    instr.ns, partial(self._make_runnable, thread)
+                )
+                return
+
+            if type(instr) is YieldCpu:
+                if self.run_queue:
+                    thread.state = T_RUNNABLE
+                    self.run_queue.append(thread)
+                    self._release_core(thread)
+                    return
+                # with an empty run queue sched_yield keeps running
+                continue
+
+            raise SimulationError(
+                "thread %r yielded unknown instruction %r" % (thread, instr)
+            )
+
+    def _after_cpu(self, thread):
+        quantum_used = self.engine.now - thread.quantum_start_ns
+        if self.run_queue and quantum_used >= self.profile.quantum_ns:
+            self.preemptions.add()
+            self.run_queue.append(thread)
+            thread.state = T_RUNNABLE
+            self._release_core(thread)
+            return
+        self._step(thread)
+
+    def _sem_wait_cont(self, thread, sem):
+        if sem.try_acquire():
+            self._step(thread)
+            return
+        sem.block_count += 1
+        self.sem_blocks.add()
+        sem.waiters.append(thread)
+        thread.state = T_BLOCKED
+        self._release_core(thread)
+
+    def _sem_post_cont(self, thread, sem):
+        if sem.waiters:
+            waiter = sem.waiters.popleft()
+            self.engine.schedule(
+                self.profile.wakeup_ns, partial(self._make_runnable, waiter)
+            )
+        else:
+            sem.count += 1
+        self._step(thread)
+
+
+DEFAULT_OS_PROFILE = OsProfile()
+
+
+def paper_testbed_profile():
+    """The 8-core EC2 i3.2xlarge-like profile used throughout."""
+    return OsProfile(
+        cores=8,
+        context_switch_ns=usec(3),
+        quantum_ns=usec(200),
+        sem_syscall_ns=usec(0.8),
+        wakeup_ns=usec(2),
+    )
+
+
+def single_core_profile():
+    """Convenience profile for unit tests."""
+    return OsProfile(cores=1, quantum_ns=msec(1))

@@ -1,0 +1,50 @@
+"""Synchronization primitives for simulated threads.
+
+Counting semaphores with the cost structure the paper attributes to
+``sem_wait`` / ``sem_post``: each call pays a syscall-sized CPU burst,
+and waking a blocked thread pays a wakeup latency before the thread
+re-enters the run queue.  A mutex is a semaphore initialised to one.
+"""
+
+from collections import deque
+
+
+class Semaphore:
+    """Counting semaphore.
+
+    The scheduler drives all state changes; thread code only yields
+    :class:`~repro.simos.thread.SemWait` / ``SemPost`` instructions that
+    reference the semaphore.
+    """
+
+    __slots__ = ("count", "waiters", "name", "wait_count", "block_count")
+
+    def __init__(self, initial=0, name="sem"):
+        if initial < 0:
+            raise ValueError("negative initial semaphore count")
+        self.count = initial
+        self.waiters = deque()
+        self.name = name
+        self.wait_count = 0
+        self.block_count = 0
+
+    def try_acquire(self):
+        """Non-blocking P; returns True on success (scheduler use)."""
+        if self.count > 0:
+            self.count -= 1
+            return True
+        return False
+
+    def __repr__(self):
+        return "Semaphore(%r, count=%d, waiters=%d)" % (
+            self.name,
+            self.count,
+            len(self.waiters),
+        )
+
+
+class Mutex(Semaphore):
+    """Binary semaphore used for critical sections in the baselines."""
+
+    def __init__(self, name="mutex"):
+        super().__init__(initial=1, name=name)

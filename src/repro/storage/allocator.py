@@ -1,0 +1,53 @@
+"""Page allocator.
+
+Watermark-plus-free-list allocation over a contiguous LBA range.  The
+watermark is persisted in the tree meta page so a reopened tree never
+hands out a live page; the free list itself is volatile, which only
+leaks pages across a crash (the standard trade-off for structures that
+do not log allocator state).
+"""
+
+from repro.errors import AllocationError
+
+
+class PageAllocator:
+    """Allocates page ids within ``[base, base + capacity)``."""
+
+    __slots__ = ("base", "capacity", "next_page", "_free")
+
+    def __init__(self, base, capacity, next_page=None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.base = base
+        self.capacity = capacity
+        self.next_page = base if next_page is None else next_page
+        if not base <= self.next_page <= base + capacity:
+            raise ValueError("watermark outside managed range")
+        self._free = []
+
+    @property
+    def allocated_count(self):
+        return (self.next_page - self.base) - len(self._free)
+
+    @property
+    def free_count(self):
+        return (self.base + self.capacity - self.next_page) + len(self._free)
+
+    def allocate(self):
+        """Return a fresh page id."""
+        if self._free:
+            return self._free.pop()
+        if self.next_page >= self.base + self.capacity:
+            raise AllocationError(
+                "no pages left in range [%d, %d)"
+                % (self.base, self.base + self.capacity)
+            )
+        page_id = self.next_page
+        self.next_page += 1
+        return page_id
+
+    def free(self, page_id):
+        """Return a page to the free list."""
+        if not self.base <= page_id < self.next_page:
+            raise AllocationError("freeing unallocated page %d" % page_id)
+        self._free.append(page_id)

@@ -1,0 +1,27 @@
+"""Workload generators: YCSB-style synthetic mixes, T-Drive-style
+trajectories and SSE-style order books."""
+
+from repro.workloads.sse import SseWorkload
+from repro.workloads.tdrive import TDriveWorkload
+from repro.workloads.ycsb import (
+    MIX_DEFAULT,
+    MIX_READ_ONLY,
+    MIX_UPDATE_HEAVY,
+    YcsbWorkload,
+    payload_for,
+    preload_key,
+)
+from repro.workloads.zipf import ZipfSampler, scatter_rank
+
+__all__ = [
+    "YcsbWorkload",
+    "TDriveWorkload",
+    "SseWorkload",
+    "ZipfSampler",
+    "scatter_rank",
+    "preload_key",
+    "payload_for",
+    "MIX_READ_ONLY",
+    "MIX_DEFAULT",
+    "MIX_UPDATE_HEAVY",
+]

@@ -1,0 +1,53 @@
+"""Zipfian key-rank sampling.
+
+The paper draws YCSB keys from a Zipfian distribution with skew
+``alpha`` (default 0.3).  We precompute the normalized CDF over the
+``n`` ranks once (numpy) and sample by binary search, so draws are
+O(log n) and the whole stream is reproducible from the seed.
+"""
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class ZipfSampler:
+    """Samples ranks in ``[0, n)`` with P(rank k) ∝ 1 / (k+1)^alpha."""
+
+    def __init__(self, n, alpha, rng):
+        if n < 1:
+            raise WorkloadError("need at least one rank")
+        if alpha < 0:
+            raise WorkloadError("alpha must be non-negative")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+
+    def sample(self):
+        """One rank draw."""
+        return int(np.searchsorted(self._cdf, self._rng.random(), side="left"))
+
+    def sample_many(self, count):
+        """``count`` rank draws as a list (single vectorized pass)."""
+        draws = np.array([self._rng.random() for _ in range(count)])
+        return np.searchsorted(self._cdf, draws, side="left").tolist()
+
+
+_SCATTER_PRIME = 2_654_435_761  # Knuth's multiplicative-hash prime
+
+
+def scatter_rank(rank, n):
+    """Bijectively scatter hot ranks across the key space.
+
+    Without scattering, Zipf rank 0..k would be adjacent keys sharing
+    one leaf, overstating locality.  Multiplying by a prime coprime to
+    ``n`` permutes ``0..n-1`` (a true bijection for every ``n`` below
+    the prime) while spreading consecutive ranks far apart.
+    """
+    if n >= _SCATTER_PRIME:
+        raise WorkloadError("key population too large to scatter")
+    return (rank * _SCATTER_PRIME) % n

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.nvme.device import NvmeDevice, fast_test_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sim.engine import Engine
+from repro.simos.scheduler import OsProfile, SimOS
+
+
+@pytest.fixture
+def engine():
+    return Engine(seed=42)
+
+
+@pytest.fixture
+def simos(engine):
+    return SimOS(engine, OsProfile(cores=8))
+
+
+@pytest.fixture
+def device(engine):
+    return NvmeDevice(engine, fast_test_profile())
+
+
+@pytest.fixture
+def driver(device):
+    return NvmeDriver(device)
+
+
+def make_env(seed=42, cores=8, profile=None):
+    """Build a full (engine, simos, device, driver) quadruple."""
+    eng = Engine(seed=seed)
+    osim = SimOS(eng, OsProfile(cores=cores))
+    dev = NvmeDevice(eng, profile or fast_test_profile())
+    drv = NvmeDriver(dev)
+    return eng, osim, dev, drv

@@ -1,0 +1,158 @@
+"""Tests for the benchmark harness: reporting, runner, CLI."""
+
+import io
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.report import format_value, print_series, print_table, shape_ratio
+from repro.bench.runner import WorkloadSpec, _interleave_syncs, run_pa, run_sync_baseline
+from repro.core.ops import SYNC, insert_op, search_op, update_op
+from repro.errors import BenchmarkError
+from repro.nvme.device import fast_test_profile
+from repro.sim.rng import RngRegistry
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(0.0) == "0"
+        assert format_value(12345.6) == "12346"
+        assert format_value(12.34) == "12.3"
+        assert format_value(1.2345) == "1.234"
+        assert format_value("text") == "text"
+        assert format_value(7) == "7"
+
+    def test_print_table_alignment(self):
+        lines = []
+        print_table(
+            "T",
+            [("name", "n"), ("value", "v")],
+            [{"n": "alpha", "v": 1.5}, {"n": "b", "v": 22222.0}],
+            out=lines.append,
+        )
+        assert any("== T ==" in line for line in lines)
+        header = next(line for line in lines if line.startswith("name"))
+        row = next(line for line in lines if line.startswith("alpha"))
+        assert header.index("value") == row.index("1.500")
+
+    def test_print_table_missing_key_blank(self):
+        lines = []
+        print_table("T", [("a", "a"), ("b", "b")], [{"a": 1}], out=lines.append)
+        assert any(line.startswith("1") for line in lines)
+
+    def test_print_series(self):
+        lines = []
+        print_series(
+            "S", "x", [1, 2], {"y1": [10, 20], "y2": [30, 40]}, out=lines.append
+        )
+        body = "\n".join(lines)
+        assert "y1" in body and "40" in body
+
+    def test_shape_ratio(self):
+        assert shape_ratio(10, 5) == 2.0
+        assert shape_ratio(10, 0) == float("inf")
+        assert shape_ratio(0, 0) == 1.0
+
+
+class TestWorkloadSpec:
+    def test_builds_each_kind(self):
+        rng = RngRegistry(1).stream("x")
+        for kind in ("ycsb", "tdrive", "sse"):
+            spec = WorkloadSpec(kind=kind, n_keys=100, n_ops=10, n_actors=5)
+            workload = spec.build(rng)
+            assert workload.preload_items()
+            assert list(workload.operations())
+
+    def test_unknown_kind_rejected(self):
+        rng = RngRegistry(1).stream("x")
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(kind="nope").build(rng)
+
+    def test_interleave_syncs(self):
+        ops = [update_op(1, bytes(8)) for _ in range(5)] + [search_op(1)]
+        result = list(_interleave_syncs(iter(ops), sync_every=2))
+        kinds = [op.kind for op in result]
+        assert kinds.count(SYNC) == 2
+        assert kinds[2] == SYNC and kinds[5] == SYNC
+
+
+class TestRunnerSmoke:
+    def test_run_pa_small(self):
+        spec = WorkloadSpec(kind="ycsb", n_keys=300, n_ops=60, mix="default")
+        row = run_pa(
+            spec,
+            seed=3,
+            scheduler="naive",
+            device_profile=fast_test_profile(),
+        )
+        assert row["completed"] == 60
+        assert row["throughput_ops"] > 0
+        assert row["approach"] == "pa-tree"
+        assert 0 <= row["cpu_breakdown"]["real_work"] <= 1
+
+    def test_run_pa_weak_with_syncs(self):
+        spec = WorkloadSpec(
+            kind="ycsb", n_keys=300, n_ops=60, mix="update_heavy", sync_every=10
+        )
+        row = run_pa(
+            spec,
+            seed=3,
+            scheduler="naive",
+            persistence="weak",
+            buffer_pages=128,
+            device_profile=fast_test_profile(),
+        )
+        assert row["completed"] == 60  # sync ops excluded from the count
+
+    def test_run_baseline_small(self):
+        spec = WorkloadSpec(kind="ycsb", n_keys=300, n_ops=40, mix="default")
+        row = run_sync_baseline(
+            spec, "dedicated", 4, seed=3, device_profile=fast_test_profile()
+        )
+        assert row["completed"] == 40
+        assert row["threads"] == 4
+
+    def test_run_baseline_unknown_mode(self):
+        spec = WorkloadSpec(kind="ycsb", n_keys=10, n_ops=1)
+        with pytest.raises(BenchmarkError):
+            run_sync_baseline(spec, "bogus", 1)
+
+    def test_run_pa_unknown_scheduler(self):
+        spec = WorkloadSpec(kind="ycsb", n_keys=10, n_ops=1)
+        with pytest.raises(BenchmarkError):
+            run_pa(spec, scheduler="bogus")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        captured = capsys.readouterr().out
+        assert "fig15" in captured and "table1" in captured
+
+    def test_unknown_exhibit_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure-nine-thousand"])
+
+
+class TestCsvExport:
+    def test_write_csv_flattens_and_orders(self, tmp_path):
+        from repro.bench.report import write_csv
+
+        rows = [
+            {"a": 1, "nested": {"x": 0.5, "y": 2}, "skip": [1, 2]},
+            {"a": 3, "nested": {"x": 0.7, "y": 4}},
+        ]
+        path = tmp_path / "out.csv"
+        write_csv(rows, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,nested.x,nested.y"
+        assert lines[1] == "1,0.5,2"
+        assert lines[2] == "3,0.7,4"
+
+    def test_write_csv_explicit_columns(self, tmp_path):
+        from repro.bench.report import write_csv
+
+        rows = [{"a": 1, "b": 2}]
+        path = tmp_path / "out.csv"
+        write_csv(rows, str(path), columns=[("alpha", "a")])
+        assert path.read_text().strip().splitlines() == ["alpha", "1"]

@@ -1,0 +1,88 @@
+"""Quick integration tests over the experiment modules themselves.
+
+These run each paper-exhibit module at a very small scale so the
+benchmark code paths (sweeps, memoization, reporting, shape helpers)
+are exercised by ``pytest tests/`` without the full benchmark cost.
+"""
+
+import io
+
+import pytest
+
+from repro.bench.experiments import fig3_device, fig7_fig8
+from repro.bench.report import print_series, print_table
+from repro.bench.runner import WorkloadSpec, run_pa
+
+
+class TestFig3Quick:
+    def test_single_point(self):
+        point = fig3_device.run_fixed_qd(8, 0.5, duration_us=5_000)
+        assert point["completed"] > 0
+        assert point["iops"] > 0
+        assert point["mean_latency_us"] > 0
+
+    def test_small_sweep_monotone(self):
+        qds, iops_series, _lat = fig3_device.run_fig3a_b(
+            qd_sweep=(1, 8), write_rates=(0.0,), duration_us=5_000
+        )
+        reads = iops_series["write=0%"]
+        assert reads[1] > 3 * reads[0]
+
+    def test_fig3c_small(self):
+        cycles, iops, latency = fig3_device.run_fig3c(
+            probe_cycles_us=(5, 100), duration_us=5_000
+        )
+        assert len(iops["iops"]) == 2
+        assert latency["latency_us"][1] > latency["latency_us"][0]
+
+
+class TestFig7Quick:
+    def test_tiny_grid_memoized(self):
+        rows = fig7_fig8.run_grid(
+            mixes=("default",), threads=(1,), n_keys=2_000, n_ops=150
+        )
+        again = fig7_fig8.run_grid(
+            mixes=("default",), threads=(1,), n_keys=2_000, n_ops=150
+        )
+        assert rows is again  # memoized
+        approaches = {row["approach"] for row in rows}
+        assert approaches == {"pa-tree", "shared", "dedicated"}
+        pa = next(r for r in rows if r["approach"] == "pa-tree")
+        assert pa["throughput_ops"] > 0
+
+    def test_best_baseline_helper(self):
+        rows = fig7_fig8.run_grid(
+            mixes=("default",), threads=(1,), n_keys=2_000, n_ops=150
+        )
+        best = fig7_fig8.best_baseline(rows, "default", "shared")
+        assert best["approach"] == "shared"
+
+    def test_report_renders(self):
+        rows = fig7_fig8.run_grid(
+            mixes=("default",), threads=(1,), n_keys=2_000, n_ops=150
+        )
+        lines = []
+        fig7_fig8.report(rows, out=lines.append)
+        assert any("pa-tree" in str(line) for line in lines)
+
+
+class TestRunPaVariants:
+    def test_naive_vs_aware_same_results(self):
+        spec = WorkloadSpec(kind="ycsb", n_keys=2_000, n_ops=200, mix="default")
+        naive = run_pa(spec, seed=5, scheduler="naive")
+        aware = run_pa(spec, seed=5, scheduler="workload_aware")
+        assert naive["completed"] == aware["completed"] == 200
+
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec(kind="ycsb", n_keys=2_000, n_ops=200, mix="default")
+        a = run_pa(spec, seed=9, scheduler="naive")
+        b = run_pa(spec, seed=9, scheduler="naive")
+        assert a["throughput_ops"] == b["throughput_ops"]
+        assert a["mean_latency_us"] == b["mean_latency_us"]
+        assert a["device_reads"] == b["device_reads"]
+
+    def test_different_seeds_differ(self):
+        spec = WorkloadSpec(kind="ycsb", n_keys=2_000, n_ops=200, mix="default")
+        a = run_pa(spec, seed=9, scheduler="naive")
+        b = run_pa(spec, seed=10, scheduler="naive")
+        assert a["mean_latency_us"] != b["mean_latency_us"]

@@ -1,0 +1,107 @@
+"""Unit tests for key encoding: u64 validation, z-order, order keys."""
+
+import pytest
+
+from repro.core.keys import (
+    KEY_MAX,
+    check_key,
+    order_key,
+    order_key_decode,
+    order_key_range,
+    quantize_coordinate,
+    zorder_decode,
+    zorder_encode,
+)
+from repro.errors import KeyEncodingError
+
+
+class TestCheckKey:
+    def test_accepts_bounds(self):
+        assert check_key(0) == 0
+        assert check_key(KEY_MAX) == KEY_MAX
+
+    def test_rejects_negative(self):
+        with pytest.raises(KeyEncodingError):
+            check_key(-1)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(KeyEncodingError):
+            check_key(KEY_MAX + 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(KeyEncodingError):
+            check_key("abc")
+
+
+class TestZOrder:
+    def test_roundtrip(self):
+        for x, y in [(0, 0), (1, 2), (12345, 67890), (2**32 - 1, 2**32 - 1)]:
+            code = zorder_encode(x, y)
+            assert zorder_decode(code) == (x, y)
+
+    def test_bit_interleaving(self):
+        # x contributes even bits, y odd bits
+        assert zorder_encode(1, 0) == 0b01
+        assert zorder_encode(0, 1) == 0b10
+        assert zorder_encode(1, 1) == 0b11
+        assert zorder_encode(2, 0) == 0b0100
+
+    def test_locality_monotonic_in_quadrant(self):
+        # points within the same power-of-two cell share a prefix:
+        # codes in [0,4) are the 2x2 cell at origin
+        cell = {zorder_encode(x, y) for x in (0, 1) for y in (0, 1)}
+        assert cell == {0, 1, 2, 3}
+
+    def test_range_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            zorder_encode(2**32, 0)
+        with pytest.raises(KeyEncodingError):
+            zorder_encode(0, -1)
+
+
+class TestQuantize:
+    def test_endpoints(self):
+        assert quantize_coordinate(0.0, 0.0, 1.0, bits=8) == 0
+        assert quantize_coordinate(1.0, 0.0, 1.0, bits=8) == 255
+
+    def test_clamping(self):
+        assert quantize_coordinate(-5.0, 0.0, 1.0, bits=8) == 0
+        assert quantize_coordinate(5.0, 0.0, 1.0, bits=8) == 255
+
+    def test_monotonic(self):
+        values = [quantize_coordinate(v / 10, 0.0, 1.0) for v in range(11)]
+        assert values == sorted(values)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            quantize_coordinate(0.5, 1.0, 1.0)
+
+
+class TestOrderKey:
+    def test_roundtrip(self):
+        key = order_key(123, 45678, 999)
+        assert order_key_decode(key) == (123, 45678, 999)
+
+    def test_sort_order_stock_then_price_then_seq(self):
+        keys = [
+            order_key(1, 100, 5),
+            order_key(1, 100, 6),
+            order_key(1, 101, 0),
+            order_key(2, 0, 0),
+        ]
+        assert keys == sorted(keys)
+
+    def test_range_covers_price_band(self):
+        low, high = order_key_range(7, 100, 200)
+        assert low == order_key(7, 100, 0)
+        assert low <= order_key(7, 150, 12345) <= high
+        assert order_key(7, 201, 0) > high
+        assert order_key(8, 0, 0) > high
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            order_key(1 << 16, 0, 0)
+        with pytest.raises(KeyEncodingError):
+            order_key(0, 1 << 24, 0)
+        with pytest.raises(KeyEncodingError):
+            order_key(0, 0, 1 << 24)

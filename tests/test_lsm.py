@@ -1,0 +1,240 @@
+"""Unit tests for the LSM baseline components."""
+
+import pytest
+
+from repro.baselines.io_service import DedicatedIoService
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.baselines.lsm.memtable import MemTable
+from repro.baselines.lsm.sstable import SSTable, decode_page, encode_page, plan_pages
+from repro.baselines.lsm.store import LsmConfig, LsmStore
+from repro.errors import StorageError
+from repro.nvme.device import NvmeDevice, fast_test_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sim.engine import Engine
+from repro.simos.scheduler import OsProfile, SimOS
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(100)
+        keys = [k * 7 + 1 for k in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.may_contain(k) for k in keys)
+
+    def test_mostly_rejects_absent(self):
+        bloom = BloomFilter(200)
+        for key in range(200):
+            bloom.add(key)
+        false_positives = sum(
+            1 for key in range(10_000, 12_000) if bloom.may_contain(key)
+        )
+        assert false_positives < 100  # ~1% expected at 10 bits/key
+
+
+class TestMemTable:
+    def test_put_get_delete(self):
+        table = MemTable()
+        table.put(5, b"five")
+        assert table.get(5) == (True, b"five")
+        table.delete(5)
+        assert table.get(5) == (True, None)  # tombstone
+        assert table.get(6) == (False, None)
+
+    def test_sorted_items(self):
+        table = MemTable()
+        for key in (5, 1, 9, 3):
+            table.put(key, b"x")
+        assert [k for k, _v in table.sorted_items()] == [1, 3, 5, 9]
+
+    def test_range_items(self):
+        table = MemTable()
+        for key in range(0, 100, 10):
+            table.put(key, bytes([key]))
+        assert [k for k, _v in table.range_items(25, 55)] == [30, 40, 50]
+
+    def test_bytes_used_tracks_overwrites(self):
+        table = MemTable()
+        table.put(1, b"aaaa")
+        used = table.bytes_used
+        table.put(1, b"bb")
+        assert table.bytes_used == used - 2
+
+
+class TestSSTablePages:
+    def test_page_roundtrip_with_tombstones(self):
+        entries = [(1, b"value-a"), (2, None), (3, b"v")]
+        image = encode_page(256, entries)
+        assert len(image) == 256
+        assert decode_page(image) == entries
+
+    def test_plan_pages_splits_by_size(self):
+        items = [(k, bytes(100)) for k in range(10)]
+        pages = plan_pages(512, items)
+        assert all(len(chunk) <= 4 for chunk in pages)
+        assert sum(len(chunk) for chunk in pages) == 10
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(StorageError):
+            plan_pages(128, [(1, bytes(200))])
+
+    def test_table_plan_metadata(self):
+        items = [(k * 10, bytes(8)) for k in range(100)]
+        table, images = SSTable.plan(512, items)
+        assert table.min_key == 0
+        assert table.max_key == 990
+        assert table.entry_count == 100
+        assert len(images) == len(table.page_lbas)
+        assert table.overlaps(500, 600)
+        assert not table.overlaps(1_000, 2_000)
+
+    def test_page_index_for(self):
+        items = [(k, bytes(8)) for k in range(100)]
+        table, _images = SSTable.plan(512, items)
+        index = table.page_index_for(50)
+        start, end = table.page_range_for(0, 99)
+        assert index is not None
+        assert start == 0
+        assert end == len(table.page_lbas)
+        assert table.page_index_for(5_000) is None
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(StorageError):
+            SSTable.plan(512, [])
+
+
+def make_store(persistence="weak", memtable_entries=50):
+    engine = Engine(seed=2)
+    simos = SimOS(engine, OsProfile(cores=4))
+    device = NvmeDevice(engine, fast_test_profile())
+    driver = NvmeDriver(device)
+    io_service = DedicatedIoService(driver)
+    store = LsmStore(
+        device,
+        io_service,
+        LsmConfig(memtable_entries=memtable_entries, wal_pages=1_024),
+        persistence=persistence,
+    )
+    return engine, simos, io_service, store
+
+
+def run_thread(engine, simos, body):
+    holder = {}
+
+    def wrapper():
+        holder["result"] = yield from body
+    thread = simos.spawn(wrapper())
+    engine.run(until=lambda: thread.done)
+    return holder.get("result")
+
+
+class TestLsmStore:
+    def test_put_get_through_flush(self):
+        engine, simos, io_service, store = make_store(memtable_entries=20)
+        tls = io_service.register_thread()
+
+        def body():
+            for key in range(100):
+                yield from store._apply(tls, key, bytes([key % 256]) * 8)
+            results = []
+            for key in (0, 50, 99):
+                value = yield from store.get(tls, key)
+                results.append(value)
+            return results
+
+        results = run_thread(engine, simos, body())
+        assert results == [bytes([0]) * 8, bytes([50]) * 8, bytes([99]) * 8]
+        assert store.flushes >= 4
+
+    def test_delete_masks_older_versions(self):
+        engine, simos, io_service, store = make_store(memtable_entries=10)
+        tls = io_service.register_thread()
+
+        def body():
+            for key in range(30):
+                yield from store._apply(tls, key, bytes(8))
+            yield from store._apply(tls, 7, None)  # tombstone after flushes
+            return (yield from store.get(tls, 7))
+
+        assert run_thread(engine, simos, body()) is None
+
+    def test_range_merges_levels_and_memtable(self):
+        engine, simos, io_service, store = make_store(memtable_entries=10)
+        tls = io_service.register_thread()
+
+        def body():
+            for key in range(0, 50, 2):
+                yield from store._apply(tls, key, b"old-" + bytes(4))
+            yield from store._apply(tls, 4, b"new-" + bytes(4))
+            return (yield from store.range(tls, 0, 10))
+
+        results = dict(run_thread(engine, simos, body()))
+        assert results[4] == b"new-" + bytes(4)
+        assert sorted(results) == [0, 2, 4, 6, 8, 10]
+
+    def test_bulk_load_readable(self):
+        engine, simos, io_service, store = make_store()
+        items = [(k * 3, bytes([k % 251]) * 8) for k in range(200)]
+        store.bulk_load(items)
+        tls = io_service.register_thread()
+
+        def body():
+            return (yield from store.get(tls, 300))
+
+        assert run_thread(engine, simos, body()) == bytes([100 % 251]) * 8
+
+    def test_bulk_load_unsorted_rejected(self):
+        engine, simos, io_service, store = make_store()
+        with pytest.raises(StorageError):
+            store.bulk_load([(5, b"x"), (1, b"y")])
+
+    def test_strong_persistence_flushes_wal_per_write(self):
+        engine, simos, io_service, store = make_store(persistence="strong")
+        tls = io_service.register_thread()
+
+        def body():
+            for key in range(5):
+                yield from store._apply(tls, key, bytes(8))
+
+        run_thread(engine, simos, body())
+        assert store.wal.pending_records() == 0
+
+    def test_weak_persistence_defers_wal(self):
+        engine, simos, io_service, store = make_store(persistence="weak")
+        tls = io_service.register_thread()
+
+        def body():
+            yield from store._apply(tls, 1, bytes(8))
+
+        run_thread(engine, simos, body())
+        assert store.wal.pending_records() == 1
+
+        def sync_body():
+            return (yield from store.sync(tls))
+
+        run_thread(engine, simos, sync_body())
+        assert store.wal.pending_records() == 0
+
+    def test_compaction_reclaims_level0(self):
+        engine, simos, io_service, store = make_store(memtable_entries=10)
+        tls = io_service.register_thread()
+
+        def body():
+            for key in range(300):
+                yield from store._apply(tls, key % 40, key.to_bytes(8, "little"))
+
+        run_thread(engine, simos, body())
+        assert store.compactions >= 1
+        assert len(store.levels[0]) <= store.config.level0_limit
+
+        def verify():
+            results = []
+            for key in range(40):
+                value = yield from store.get(tls, key)
+                results.append(int.from_bytes(value, "little"))
+            return results
+
+        values = run_thread(engine, simos, verify())
+        # newest version of each key survives compaction
+        for key, value in enumerate(values):
+            assert value % 40 == key

@@ -1,0 +1,146 @@
+"""Tests for the polled-mode asynchronous LSM store (PA-LSM)."""
+
+import random
+
+import pytest
+
+from repro.core.ops import delete_op, insert_op, range_op, search_op, sync_op
+from repro.core.source import ClosedLoopSource
+from repro.nvme.device import NvmeDevice, fast_test_profile
+from repro.nvme.driver import NvmeDriver
+from repro.palsm import AsyncLsmStore, PolledLsmWorker
+from repro.sched.naive import NaiveScheduling
+from repro.sim.engine import Engine
+from repro.simos.scheduler import OsProfile, SimOS
+
+
+def payload(key):
+    return (key % 2**64).to_bytes(8, "little")
+
+
+def build(persistence="strong", memtable_entries=100, **kwargs):
+    engine = Engine(seed=8)
+    simos = SimOS(engine, OsProfile(cores=4))
+    device = NvmeDevice(engine, fast_test_profile())
+    driver = NvmeDriver(device)
+    store = AsyncLsmStore(
+        device,
+        persistence=persistence,
+        memtable_entries=memtable_entries,
+        wal_pages=4_096,
+        **kwargs,
+    )
+    worker = PolledLsmWorker(
+        simos, driver, store, NaiveScheduling(), ClosedLoopSource([], window=16)
+    )
+    return device, store, worker
+
+
+class TestPaLsmBasics:
+    def test_put_get_in_memtable(self):
+        _device, _store, worker = build()
+        ops = worker.run_operations(
+            [insert_op(5, payload(5)), search_op(5), search_op(6)]
+        )
+        assert ops[1].result == payload(5)
+        assert ops[2].result is None
+
+    def test_flush_and_read_back(self):
+        _device, store, worker = build(memtable_entries=50)
+        inserts = [insert_op(k, payload(k)) for k in range(300)]
+        worker.run_operations(inserts, window=8)
+        assert store.flushes >= 4
+        searches = worker.run_operations([search_op(k) for k in range(0, 300, 17)])
+        assert all(op.result == payload(op.key) for op in searches)
+
+    def test_delete_tombstone_masks_flushed_value(self):
+        _device, store, worker = build(memtable_entries=20)
+        worker.run_operations([insert_op(k, payload(k)) for k in range(60)])
+        worker.run_operations([delete_op(7)])
+        (found,) = worker.run_operations([search_op(7)])
+        assert found.result is None
+
+    def test_range_across_memtable_and_tables(self):
+        _device, store, worker = build(memtable_entries=25)
+        worker.run_operations([insert_op(k * 2, payload(k)) for k in range(100)])
+        worker.run_operations([insert_op(31, payload(31))])  # stays in memtable
+        (op,) = worker.run_operations([range_op(20, 40)])
+        keys = [k for k, _v in op.result]
+        assert keys == sorted(set(list(range(20, 41, 2)) + [31]))
+
+    def test_compaction_triggered_and_correct(self):
+        _device, store, worker = build(memtable_entries=20, level0_limit=2)
+        ops = [insert_op(k % 60, (k).to_bytes(8, "little")) for k in range(600)]
+        worker.run_operations(ops, window=8)
+        assert store.compactions >= 1
+        assert len(store.levels[0]) <= store.level0_limit
+        checks = worker.run_operations([search_op(k) for k in range(60)])
+        for op in checks:
+            # last writer for key k is the largest j < 600 with j % 60 == k
+            expected = (540 + op.key).to_bytes(8, "little")
+            assert op.result == expected
+
+    def test_bulk_load_then_get(self):
+        _device, store, worker = build()
+        store.bulk_load([(k * 3, payload(k)) for k in range(500)])
+        (op,) = worker.run_operations([search_op(300)])
+        assert op.result == payload(100)
+
+    def test_sync_flushes_wal(self):
+        _device, store, worker = build(persistence="weak")
+        worker.run_operations([insert_op(1, payload(1))])
+        assert store.wal.pending_records() == 1
+        (sync,) = worker.run_operations([sync_op()])
+        assert store.wal.pending_records() == 0
+
+    def test_strong_persistence_wal_durable_per_op(self):
+        _device, store, worker = build(persistence="strong")
+        worker.run_operations([insert_op(1, payload(1)), insert_op(2, payload(2))])
+        assert store.wal.pending_records() == 0
+
+    def test_quarantined_pages_eventually_freed(self):
+        _device, store, worker = build(memtable_entries=20, level0_limit=2)
+        worker.run_operations(
+            [insert_op(k % 50, payload(k)) for k in range(400)], window=8
+        )
+        assert store.compactions >= 1
+        assert not store._pending_frees  # drained once ops completed
+
+
+class TestPaLsmFuzz:
+    def test_equivalent_to_dict(self):
+        _device, store, worker = build(memtable_entries=40, level0_limit=2)
+        rng = random.Random(21)
+        model = {}
+        ops = []
+        for _ in range(1_200):
+            roll = rng.random()
+            key = rng.randrange(0, 500)
+            if roll < 0.45:
+                ops.append(insert_op(key, payload(key ^ rng.randrange(256))))
+                model[key] = ops[-1].payload
+            elif roll < 0.6:
+                ops.append(delete_op(key))
+                model.pop(key, None)
+            elif roll < 0.85:
+                ops.append(search_op(key))
+            else:
+                ops.append(range_op(key, key + 40))
+        # sequential (window=1) so per-op expectations are exact
+        worker.run_operations(ops, window=1)
+        checks = worker.run_operations([search_op(k) for k in range(500)], window=1)
+        for op in checks:
+            assert op.result == model.get(op.key), op.key
+
+        (full,) = worker.run_operations([range_op(0, 10**9)])
+        assert dict(full.result) == model
+
+    def test_interleaved_window_preserves_final_state(self):
+        _device, store, worker = build(memtable_entries=30, level0_limit=2)
+        rng = random.Random(5)
+        keys = list(range(200))
+        ops = [insert_op(k, payload(k)) for k in keys]
+        rng.shuffle(ops)
+        worker.run_operations(ops, window=16)
+        (full,) = worker.run_operations([range_op(0, 10**9)])
+        assert [k for k, _v in full.result] == keys

@@ -1,0 +1,138 @@
+"""Tests for the multi-worker (range-partitioned) PA-Tree extension."""
+
+import random
+
+import pytest
+
+from repro.core.engine import PERSISTENCE_WEAK
+from repro.core.ops import (
+    delete_op,
+    insert_op,
+    range_op,
+    search_op,
+    sync_op,
+    update_op,
+)
+from repro.core.partition import PartitionedPaTree
+from repro.errors import SchedulerError
+from repro.nvme.device import NvmeDevice, fast_test_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sim.engine import Engine
+from repro.simos.scheduler import OsProfile, SimOS
+
+
+def payload(key):
+    return (key % 2**64).to_bytes(8, "little")
+
+
+def build(n_partitions=4, preload=2_000, **kwargs):
+    engine = Engine(seed=6)
+    simos = SimOS(engine, OsProfile(cores=8))
+    device = NvmeDevice(engine, fast_test_profile())
+    driver = NvmeDriver(device)
+    tree = PartitionedPaTree(simos, driver, n_partitions, **kwargs)
+    if preload:
+        tree.bulk_load([(k * 10, payload(k * 10)) for k in range(1, preload + 1)])
+    return tree
+
+
+class TestPartitionedBasics:
+    def test_partition_count_validated(self):
+        with pytest.raises(SchedulerError):
+            build(n_partitions=0, preload=0)
+
+    def test_bulk_load_balances(self):
+        tree = build(n_partitions=4, preload=4_000)
+        counts = [t.meta.key_count for t in tree.trees]
+        assert sum(counts) == 4_000
+        assert min(counts) >= 900  # quantile split keeps partitions even
+
+    def test_search_routes_to_right_partition(self):
+        tree = build()
+        ops = tree.run_operations([search_op(10), search_op(19_990), search_op(5)])
+        assert ops[0].result == payload(10)
+        assert ops[1].result == payload(19_990)
+        assert ops[2].result is None
+
+    def test_mutations_across_partitions(self):
+        tree = build(n_partitions=3, preload=1_500)
+        ops = tree.run_operations(
+            [
+                insert_op(5, payload(5)),
+                insert_op(14_999, payload(14_999)),
+                update_op(10, payload(1)),
+                delete_op(20, ),
+            ]
+        )
+        assert [op.result for op in ops] == [True, True, True, True]
+        assert tree.validate()["keys"] == 1_501
+        data = dict(tree.iterate_items_raw())
+        assert data[5] == payload(5)
+        assert 20 not in data
+
+    def test_range_within_one_partition(self):
+        tree = build()
+        (op,) = tree.run_operations([range_op(100, 200)])
+        assert [k for k, _v in op.result] == list(range(100, 201, 10))
+
+    def test_range_spanning_partitions(self):
+        tree = build(n_partitions=4, preload=2_000)
+        low, high = 10, 20_000
+        (op,) = tree.run_operations([range_op(low, high)])
+        keys = [k for k, _v in op.result]
+        assert keys == [k * 10 for k in range(1, 2_001)]
+        assert keys == sorted(keys)
+
+    def test_range_spanning_with_limit(self):
+        tree = build(n_partitions=4, preload=2_000)
+        (op,) = tree.run_operations([range_op(10, 20_000, limit=25)])
+        assert len(op.result) == 25
+        assert [k for k, _v in op.result] == [k * 10 for k in range(1, 26)]
+
+    def test_sync_broadcast(self):
+        tree = build(
+            n_partitions=2,
+            preload=500,
+            persistence=PERSISTENCE_WEAK,
+            buffer_pages_per_partition=512,
+        )
+        tree.run_operations(
+            [update_op(10, payload(1)), update_op(4_990, payload(2))]
+        )
+        (sync,) = tree.run_operations([sync_op()])
+        assert sync.result >= 2  # both partitions flushed something
+        tree.validate()
+
+
+class TestPartitionedFuzz:
+    def test_equivalent_to_dict(self):
+        tree = build(n_partitions=4, preload=1_000)
+        rng = random.Random(12)
+        model = {k * 10: payload(k * 10) for k in range(1, 1_001)}
+        ops = []
+        for _ in range(600):
+            roll = rng.random()
+            key = rng.choice(sorted(model)) if model and roll < 0.7 else rng.randrange(1, 10**6)
+            if roll < 0.3:
+                ops.append(search_op(key))
+            elif roll < 0.55:
+                ops.append(insert_op(key, payload(key)))
+                model[key] = payload(key)
+            elif roll < 0.75:
+                ops.append(delete_op(key))
+                model.pop(key, None)
+            else:
+                ops.append(update_op(key, payload(key ^ 3)))
+                if key in model:
+                    model[key] = payload(key ^ 3)
+        tree.run_operations(ops, window=32)
+        assert dict(tree.iterate_items_raw()) == model
+        tree.validate()
+
+    def test_multiple_batches(self):
+        tree = build(n_partitions=2, preload=200)
+        tree.run_operations([insert_op(3, payload(3))])
+        tree.run_operations([insert_op(7, payload(7))])
+        (found,) = tree.run_operations([search_op(3)])
+        assert found.result == payload(3)
+        assert tree.key_count == 202

@@ -1,0 +1,107 @@
+"""Property-based tests for the PA-LSM extension: any interleaved
+sequence of operations is observationally equivalent to a dict, across
+memtable rotations, flushes and compactions."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.ops import delete_op, insert_op, range_op, search_op
+from repro.core.source import ClosedLoopSource
+from repro.nvme.device import NvmeDevice, fast_test_profile
+from repro.nvme.driver import NvmeDriver
+from repro.palsm import AsyncLsmStore, PolledLsmWorker
+from repro.sched.naive import NaiveScheduling
+from repro.sim.engine import Engine
+from repro.simos.scheduler import OsProfile, SimOS
+
+
+def payload(key):
+    return (key % 2**64).to_bytes(8, "little")
+
+
+KEYS = st.integers(min_value=0, max_value=300)
+
+OPERATION = st.one_of(
+    st.tuples(st.just("put"), KEYS),
+    st.tuples(st.just("delete"), KEYS),
+    st.tuples(st.just("get"), KEYS),
+    st.tuples(st.just("range"), KEYS),
+)
+
+
+def build_worker(seed, memtable_entries=25, level0_limit=2):
+    engine = Engine(seed=seed)
+    simos = SimOS(engine, OsProfile(cores=4))
+    device = NvmeDevice(engine, fast_test_profile())
+    driver = NvmeDriver(device)
+    store = AsyncLsmStore(
+        device,
+        memtable_entries=memtable_entries,
+        level0_limit=level0_limit,
+        wal_pages=4_096,
+        block_cache_pages=32,
+    )
+    worker = PolledLsmWorker(
+        simos, driver, store, NaiveScheduling(), ClosedLoopSource([], window=8)
+    )
+    return store, worker
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(OPERATION, min_size=1, max_size=150), seed=st.integers(0, 50))
+def test_palsm_equivalent_to_dict(script, seed):
+    store, worker = build_worker(seed)
+    model = {}
+    operations = []
+    expected = []
+    for kind, key in script:
+        if kind == "put":
+            operations.append(insert_op(key, payload(key)))
+            expected.append(True)
+            model[key] = payload(key)
+        elif kind == "delete":
+            operations.append(delete_op(key))
+            expected.append(True)
+            model.pop(key, None)
+        elif kind == "get":
+            operations.append(search_op(key))
+            expected.append(model.get(key))
+        else:
+            operations.append(range_op(key, key + 60))
+            expected.append(
+                sorted((k, v) for k, v in model.items() if key <= k <= key + 60)
+            )
+    worker.run_operations(operations, window=1)
+    for op, want in zip(operations, expected):
+        assert op.result == want, (op.kind, op.key)
+    # final full scan equals the model regardless of flush/compact state
+    (full,) = worker.run_operations([range_op(0, 10**9)])
+    assert dict(full.result) == model
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    script=st.lists(OPERATION, min_size=10, max_size=200),
+    seed=st.integers(0, 50),
+    window=st.integers(2, 16),
+)
+def test_palsm_interleaved_no_lost_updates(script, seed, window):
+    """With interleaving, puts/deletes on distinct keys must all land;
+    we apply each key at most once so the final state is order-free."""
+    store, worker = build_worker(seed)
+    model = {}
+    operations = []
+    used = set()
+    for kind, key in script:
+        if key in used:
+            continue
+        used.add(key)
+        if kind in ("put", "get", "range"):
+            operations.append(insert_op(key, payload(key)))
+            model[key] = payload(key)
+        else:
+            operations.append(delete_op(key))
+    if not operations:
+        return
+    worker.run_operations(operations, window=window)
+    (full,) = worker.run_operations([range_op(0, 10**9)])
+    assert dict(full.result) == model

@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the tree and its substrates.
+
+The central property: a PA-Tree driven by any interleaved sequence of
+operations is observationally equivalent to a sorted dict, and every
+on-media structural invariant holds afterwards.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.node import Node, TreeConfig
+from repro.core.ops import delete_op, insert_op, range_op, search_op, update_op
+from repro.core.source import ClosedLoopSource
+from repro.core.engine import PaTreeEngine
+from repro.core.tree import PaTree
+from repro.nvme.device import NvmeDevice, fast_test_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sched.naive import NaiveScheduling
+from repro.sim.engine import Engine
+from repro.simos.scheduler import OsProfile, SimOS
+
+
+def payload(key):
+    return (key % 2**64).to_bytes(8, "little")
+
+
+KEYS = st.integers(min_value=0, max_value=5_000)
+
+OPERATION = st.one_of(
+    st.tuples(st.just("insert"), KEYS),
+    st.tuples(st.just("delete"), KEYS),
+    st.tuples(st.just("update"), KEYS),
+    st.tuples(st.just("search"), KEYS),
+    st.tuples(st.just("range"), KEYS),
+)
+
+
+def build_engine(seed):
+    engine = Engine(seed=seed)
+    simos = SimOS(engine, OsProfile(cores=4))
+    device = NvmeDevice(engine, fast_test_profile())
+    driver = NvmeDriver(device)
+    tree = PaTree.create(device)
+    pa = PaTreeEngine(
+        simos,
+        driver,
+        tree,
+        NaiveScheduling(),
+        source=ClosedLoopSource([], window=16),
+    )
+    return pa
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(OPERATION, min_size=1, max_size=120), seed=st.integers(0, 100))
+def test_tree_equivalent_to_dict(script, seed):
+    pa = build_engine(seed)
+    model = {}
+    operations = []
+    expected = []
+    for kind, key in script:
+        if kind == "insert":
+            operations.append(insert_op(key, payload(key)))
+            expected.append(key not in model)
+            model[key] = payload(key)
+        elif kind == "delete":
+            operations.append(delete_op(key))
+            expected.append(key in model)
+            model.pop(key, None)
+        elif kind == "update":
+            operations.append(update_op(key, payload(key + 1)))
+            expected.append(key in model)
+            if key in model:
+                model[key] = payload(key + 1)
+        elif kind == "search":
+            operations.append(search_op(key))
+            expected.append(model.get(key))
+        else:
+            operations.append(range_op(key, key + 100))
+            expected.append(
+                sorted((k, v) for k, v in model.items() if key <= k <= key + 100)
+            )
+
+    # window=1 keeps operations sequential so per-op results are exact
+    pa.source = ClosedLoopSource(operations, window=1)
+    pa.run_to_completion()
+
+    for op, want in zip(operations, expected):
+        assert op.result == want, (op.kind, op.key)
+
+    assert dict(pa.tree.iterate_items_raw()) == model
+    stats = pa.tree.validate()
+    assert stats["keys"] == len(model)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    script=st.lists(OPERATION, min_size=1, max_size=150),
+    seed=st.integers(0, 100),
+    window=st.integers(2, 24),
+)
+def test_tree_interleaved_final_state(script, seed, window):
+    """With interleaving, per-op results depend on order, but the final
+    media state must equal the dict built from sequential application
+    (keys never collide mid-flight when each key appears once in
+    flight; we assert only invariants + key-set sanity)."""
+    pa = build_engine(seed)
+    operations = []
+    touched = set()
+    for kind, key in script:
+        if kind == "insert":
+            operations.append(insert_op(key, payload(key)))
+            touched.add(key)
+        elif kind == "delete":
+            operations.append(delete_op(key))
+        elif kind == "update":
+            operations.append(update_op(key, payload(key + 1)))
+        elif kind == "search":
+            operations.append(search_op(key))
+        else:
+            operations.append(range_op(key, key + 50))
+    pa.source = ClosedLoopSource(operations, window=window)
+    pa.run_to_completion()
+    stats = pa.tree.validate()
+    media = dict(pa.tree.iterate_items_raw())
+    assert stats["keys"] == len(media)
+    assert set(media) <= touched
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(0, 2**64 - 1), min_size=1, max_size=60, unique=True
+    )
+)
+def test_node_serialization_roundtrip(keys):
+    config = TreeConfig(page_size=1024, payload_size=8)
+    keys = sorted(keys)[: config.leaf_capacity]
+    leaf = Node.new_leaf(config, 3)
+    for key in keys:
+        leaf.leaf_insert(key, payload(key))
+    restored = Node.from_bytes(config, 3, leaf.to_bytes())
+    assert restored.keys == sorted(keys)
+    assert restored.values == [payload(k) for k in sorted(keys)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 10**9), min_size=4, max_size=40, unique=True)
+)
+def test_split_then_merge_is_identity(keys):
+    config = TreeConfig(page_size=1024, payload_size=8)
+    keys = sorted(keys)[: config.leaf_capacity]
+    if len(keys) < 4:
+        return
+    leaf = Node.new_leaf(config, 1)
+    for key in keys:
+        leaf.leaf_insert(key, payload(key))
+    right, separator = leaf.split(2)
+    assert leaf.keys == [k for k in keys if k < separator]
+    assert right.keys == [k for k in keys if k >= separator]
+    leaf.merge_from_right(right, separator)
+    assert leaf.keys == keys
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(
+        st.tuples(st.integers(0, 2**40), st.binary(min_size=8, max_size=8)),
+        min_size=1,
+        max_size=500,
+        unique_by=lambda kv: kv[0],
+    )
+)
+def test_bulk_load_roundtrip(items):
+    device = NvmeDevice(Engine(seed=0), fast_test_profile())
+    tree = PaTree.create(device)
+    items = sorted(items)
+    tree.bulk_load(items)
+    assert list(tree.iterate_items_raw()) == items
+    stats = tree.validate(check_fill=True)
+    assert stats["keys"] == len(items)

@@ -1,0 +1,191 @@
+"""Unit tests for scheduling: I/O history, probe model, ready queues,
+probing policies."""
+
+import pytest
+
+from repro.core.ops import search_op, update_op
+from repro.nvme.device import NvmeDevice, fast_test_profile, i3_nvme_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sched.history import IoHistory
+from repro.sched.naive import NaiveScheduling
+from repro.sched.policies import AvgLatencyProbing, FixedRateProbing
+from repro.sched.priority import FifoReadyQueue, PriorityReadyQueue
+from repro.sched.probe_model import LinearProbeModel, train_probe_model
+from repro.sim.clock import usec
+from repro.sim.engine import Engine
+
+import numpy as np
+
+
+class TestIoHistory:
+    def _history(self):
+        engine = Engine(seed=1)
+        device = NvmeDevice(engine, fast_test_profile())
+        driver = NvmeDriver(device)
+        qpair = driver.alloc_qpair()
+        history = IoHistory(engine.clock, window_us=1000, slices=20)
+        return engine, driver, qpair, history
+
+    def test_outstanding_tracking(self):
+        engine, driver, qpair, history = self._history()
+        command = driver.read(qpair, 1)
+        history.on_submit(command)
+        assert history.outstanding_count == 1
+        engine.run()
+        driver.probe(qpair)
+        history.on_complete(command)
+        assert history.outstanding_count == 0
+        assert history.detected_completions == 1
+
+    def test_feature_vector_buckets_by_age(self):
+        engine, driver, qpair, history = self._history()
+        read = driver.read(qpair, 1)
+        history.on_submit(read)
+        write = driver.write(qpair, 2, bytes(512))
+        history.on_submit(write)
+        features = history.feature_vector()
+        n = history.slices
+        assert features[n] == 1.0  # read, slice 0
+        assert features[0] == 1.0  # write, slice 0
+        # project the same vector 120us into the future: both age
+        future = history.feature_vector(engine.now + usec(120))
+        assert future[n + 2] == 1.0
+        assert future[2] == 1.0
+
+    def test_old_commands_clamp_to_last_slice(self):
+        engine, driver, qpair, history = self._history()
+        command = driver.read(qpair, 1)
+        history.on_submit(command)
+        features = history.feature_vector(engine.now + usec(5_000))
+        assert features[2 * history.slices - 1] == 1.0
+
+    def test_avg_latency_window(self):
+        engine, driver, qpair, history = self._history()
+        commands = [driver.read(qpair, lba) for lba in range(1, 5)]
+        for command in commands:
+            history.on_submit(command)
+        engine.run()
+        driver.probe(qpair)
+        for command in commands:
+            history.on_complete(command)
+        average = history.avg_completion_latency_ns()
+        assert usec(5) < average < usec(60)
+
+
+class TestProbeModel:
+    def test_training_produces_sane_model(self):
+        model = train_probe_model(
+            5, i3_nvme_profile(), duration_us=150_000
+        )
+        # a device-latency-aged read should predict ~1 completion
+        n = model.slices
+        features = [0.0] * (2 * n)
+        features[n + 2] = 4.0  # four reads aged ~100-150us
+        w0, r0 = model.predict(features)
+        assert r0 > 1.0
+        assert abs(w0) < 1.0
+        # an empty system predicts nothing
+        assert model.predict([0.0] * (2 * n)) == (0.0, 0.0)
+
+    def test_predicts_completion_threshold(self):
+        beta = np.zeros((40, 2))
+        beta[20, 1] = 0.5
+        model = LinearProbeModel(beta)
+        features = [0.0] * 40
+        features[20] = 1.0
+        assert not model.predicts_completion(features)
+        features[20] = 2.0
+        assert model.predicts_completion(features)
+
+    def test_beta_shape_validated(self):
+        with pytest.raises(ValueError):
+            LinearProbeModel(np.zeros((3, 2)))
+
+
+class TestReadyQueues:
+    def test_fifo_order(self):
+        queue = FifoReadyQueue()
+        ops = [search_op(i) for i in range(3)]
+        for i, op in enumerate(ops):
+            op.seq = i
+            queue.push(op)
+        assert [queue.pop() for _ in range(3)] == ops
+        assert queue.pop() is None
+
+    def test_priority_write_latch_holders_first(self):
+        queue = PriorityReadyQueue()
+        reader = search_op(1)
+        reader.seq = 0
+        writer = update_op(2, b"x" * 8)
+        writer.seq = 5
+        writer.write_latches = 1
+        queue.push(reader)
+        queue.push(writer)
+        assert queue.pop() is writer
+        assert queue.pop() is reader
+
+    def test_priority_admission_order_tiebreak(self):
+        queue = PriorityReadyQueue()
+        older = search_op(1)
+        older.seq = 1
+        newer = search_op(2)
+        newer.seq = 9
+        queue.push(newer)
+        queue.push(older)
+        assert queue.pop() is older
+
+
+class _FakeEngine:
+    """Minimal engine stub for policy unit tests."""
+
+    def __init__(self):
+        self.clock = Engine(seed=0).clock
+
+        class _History:
+            outstanding_count = 1
+
+            @staticmethod
+            def avg_completion_latency_ns():
+                return usec(40)
+
+        self.io_history = _History()
+
+
+class TestProbingPolicies:
+    def test_naive_always_probes(self):
+        policy = NaiveScheduling()
+        assert policy.should_probe()
+        assert policy.idle_sleep_ns() == 0
+
+    def test_fixed_rate_period(self):
+        policy = FixedRateProbing(50)
+        engine = _FakeEngine()
+        policy.bind(engine)
+        assert policy.should_probe()  # never probed yet
+        policy.note_probe(engine.clock.now, 0)
+        assert not policy.should_probe()
+        engine.clock.advance_to(usec(49))
+        assert not policy.should_probe()
+        engine.clock.advance_to(usec(51))
+        assert policy.should_probe()
+
+    def test_fixed_rate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedRateProbing(-1)
+
+    def test_avg_latency_follows_measured_average(self):
+        policy = AvgLatencyProbing()
+        engine = _FakeEngine()
+        policy.bind(engine)
+        policy.note_probe(engine.clock.now, 0)
+        engine.clock.advance_to(usec(39))
+        assert not policy.should_probe()
+        engine.clock.advance_to(usec(41))
+        assert policy.should_probe()
+
+    def test_timer_policies_skip_probe_with_no_outstanding(self):
+        policy = FixedRateProbing(0)
+        engine = _FakeEngine()
+        engine.io_history.outstanding_count = 0
+        policy.bind(engine)
+        assert not policy.should_probe()

@@ -1,0 +1,66 @@
+"""Unit tests for the virtual clock and time conversions."""
+
+import pytest
+
+from repro.sim.clock import (
+    Clock,
+    NS_PER_MS,
+    NS_PER_SEC,
+    NS_PER_US,
+    msec,
+    sec,
+    to_msec,
+    to_sec,
+    to_usec,
+    usec,
+)
+
+
+def test_conversion_constants():
+    assert NS_PER_US == 1_000
+    assert NS_PER_MS == 1_000_000
+    assert NS_PER_SEC == 1_000_000_000
+
+
+def test_usec_roundtrip():
+    assert usec(1) == 1_000
+    assert usec(1.5) == 1_500
+    assert to_usec(usec(123.25)) == pytest.approx(123.25)
+
+
+def test_msec_and_sec():
+    assert msec(2) == 2_000_000
+    assert sec(1.5) == 1_500_000_000
+    assert to_msec(msec(7)) == 7.0
+    assert to_sec(sec(3)) == 3.0
+
+
+def test_usec_rounds_to_nearest_ns():
+    assert usec(0.0004) == 0
+    assert usec(0.0006) == 1
+
+
+def test_clock_starts_at_zero():
+    clock = Clock()
+    assert clock.now == 0
+    assert clock.now_usec == 0.0
+
+
+def test_clock_advances():
+    clock = Clock()
+    clock.advance_to(500)
+    assert clock.now == 500
+    clock.advance_to(500)  # same instant is allowed
+    assert clock.now == 500
+
+
+def test_clock_rejects_backwards():
+    clock = Clock(start_ns=100)
+    with pytest.raises(ValueError):
+        clock.advance_to(99)
+
+
+def test_clock_custom_start():
+    clock = Clock(start_ns=1_000)
+    assert clock.now == 1_000
+    assert clock.now_usec == 1.0

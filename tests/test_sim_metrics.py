@@ -1,0 +1,104 @@
+"""Unit tests for metric recorders."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.metrics import (
+    CPU_NVME,
+    CPU_OTHER,
+    CPU_REAL_WORK,
+    Counter,
+    CpuAccount,
+    LatencyRecorder,
+    TimeWeightedGauge,
+    throughput_per_sec,
+)
+
+
+def test_counter():
+    counter = Counter()
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+
+
+def test_gauge_time_weighted_average():
+    clock = Clock()
+    gauge = TimeWeightedGauge(clock)
+    gauge.set(10)          # value 10 from t=0
+    clock.advance_to(100)
+    gauge.set(0)           # 10 * 100
+    clock.advance_to(200)  # 0 * 100
+    assert gauge.average() == pytest.approx(5.0)
+
+
+def test_gauge_add_and_max():
+    clock = Clock()
+    gauge = TimeWeightedGauge(clock)
+    gauge.add(3)
+    gauge.add(4)
+    gauge.add(-2)
+    assert gauge.value == 5
+    assert gauge.max_value == 7
+
+
+def test_gauge_average_since_window():
+    clock = Clock()
+    gauge = TimeWeightedGauge(clock)
+    clock.advance_to(100)
+    gauge.set(8)
+    clock.advance_to(200)
+    # from t=100 to t=200 value was 8 (set at 100)
+    assert gauge.average(since_ns=100) == pytest.approx(8.0)
+
+
+def test_latency_recorder_stats():
+    recorder = LatencyRecorder()
+    for latency_us in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+        recorder.record(latency_us * 1_000)
+    assert recorder.mean_usec() == pytest.approx(5.5)
+    assert recorder.p50_usec() == pytest.approx(5.5)
+    assert recorder.max_usec() == pytest.approx(10.0)
+    assert recorder.percentile_usec(0) == pytest.approx(1.0)
+    assert recorder.percentile_usec(100) == pytest.approx(10.0)
+
+
+def test_latency_recorder_empty():
+    recorder = LatencyRecorder()
+    assert recorder.mean_usec() == 0.0
+    assert recorder.p99_usec() == 0.0
+    assert len(recorder) == 0
+
+
+def test_latency_recorder_single_sample():
+    recorder = LatencyRecorder()
+    recorder.record(2_000)
+    assert recorder.p50_usec() == pytest.approx(2.0)
+    assert recorder.p99_usec() == pytest.approx(2.0)
+
+
+def test_cpu_account_categories():
+    account = CpuAccount()
+    account.charge(100, CPU_REAL_WORK)
+    account.charge(300, CPU_NVME)
+    account.charge(100, "bogus-category")  # folds into other
+    assert account.total_ns == 500
+    assert account.by_category[CPU_REAL_WORK] == 100
+    assert account.by_category[CPU_OTHER] == 100
+    assert account.fraction(CPU_NVME) == pytest.approx(0.6)
+
+
+def test_cpu_account_merge():
+    a = CpuAccount()
+    b = CpuAccount()
+    a.charge(10, CPU_REAL_WORK)
+    b.charge(30, CPU_REAL_WORK)
+    merged = a.merged(b)
+    assert merged.by_category[CPU_REAL_WORK] == 40
+    assert merged.total_ns == 40
+    assert a.total_ns == 10  # inputs untouched
+
+
+def test_throughput_helper():
+    assert throughput_per_sec(500, 1_000_000_000) == pytest.approx(500.0)
+    assert throughput_per_sec(500, 0) == 0.0

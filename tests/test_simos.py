@@ -1,0 +1,257 @@
+"""Unit tests for the simulated OS: threads, scheduling, semaphores."""
+
+import pytest
+
+from repro.sim.clock import usec
+from repro.sim.engine import Engine
+from repro.sim.metrics import CPU_REAL_WORK
+from repro.simos.scheduler import OsProfile, SimOS
+from repro.simos.sync import Mutex, Semaphore
+from repro.simos.thread import Cpu, SemPost, SemWait, Sleep, YieldCpu
+
+
+def make_os(cores=2, **kwargs):
+    engine = Engine(seed=1)
+    return engine, SimOS(engine, OsProfile(cores=cores, **kwargs))
+
+
+def test_single_thread_runs_to_completion():
+    engine, simos = make_os()
+    trace = []
+
+    def body():
+        yield Cpu(usec(5), CPU_REAL_WORK)
+        trace.append(engine.now)
+        yield Cpu(usec(3), CPU_REAL_WORK)
+        trace.append(engine.now)
+
+    thread = simos.spawn(body())
+    engine.run()
+    assert thread.done
+    assert trace == [usec(5), usec(8)]
+    assert thread.account.total_ns == usec(8)
+
+
+def test_threads_run_in_parallel_on_separate_cores():
+    engine, simos = make_os(cores=2)
+    finish = {}
+
+    def body(name):
+        yield Cpu(usec(10), CPU_REAL_WORK)
+        finish[name] = engine.now
+
+    simos.spawn(body("a"))
+    simos.spawn(body("b"))
+    engine.run()
+    # both finish at t=10us: true parallelism across cores
+    assert finish == {"a": usec(10), "b": usec(10)}
+
+
+def test_oversubscription_serializes():
+    engine, simos = make_os(cores=1)
+    finish = {}
+
+    def body(name):
+        yield Cpu(usec(10), CPU_REAL_WORK)
+        finish[name] = engine.now
+
+    simos.spawn(body("a"))
+    simos.spawn(body("b"))
+    engine.run()
+    assert finish["a"] == usec(10)
+    # b waited for a, plus one context switch
+    assert finish["b"] >= usec(20)
+
+
+def test_context_switches_counted_and_charged():
+    engine, simos = make_os(cores=1, context_switch_ns=usec(3))
+    def body():
+        yield Cpu(usec(10), CPU_REAL_WORK)
+
+    simos.spawn(body())
+    simos.spawn(body())
+    engine.run()
+    assert simos.context_switches.value >= 1
+    # busy time includes the switch cost
+    assert simos.total_busy_ns() == usec(10) * 2 + simos.context_switches.value * usec(3)
+
+
+def test_sleep_releases_core():
+    engine, simos = make_os(cores=1)
+    trace = []
+
+    def sleeper():
+        yield Sleep(usec(50))
+        trace.append(("sleeper", engine.now))
+
+    def worker():
+        yield Cpu(usec(10), CPU_REAL_WORK)
+        trace.append(("worker", engine.now))
+
+    simos.spawn(sleeper())
+    simos.spawn(worker())
+    engine.run()
+    # worker used the core while the sleeper slept (10us of work plus
+    # the context switch charged when it took over the vacated core)
+    assert ("worker", usec(13)) in trace
+    assert trace[-1][0] == "sleeper"
+
+
+def test_semaphore_blocks_and_wakes():
+    engine, simos = make_os(cores=2)
+    sem = Semaphore(0)
+    trace = []
+
+    def waiter():
+        yield SemWait(sem)
+        trace.append(("woke", engine.now))
+
+    def poster():
+        yield Cpu(usec(20), CPU_REAL_WORK)
+        yield SemPost(sem)
+
+    simos.spawn(waiter())
+    simos.spawn(poster())
+    engine.run()
+    assert len(trace) == 1
+    # wake happens after the 20us of work plus syscall/wakeup costs
+    assert trace[0][1] > usec(20)
+    assert sem.block_count == 1
+
+
+def test_semaphore_no_block_when_available():
+    engine, simos = make_os()
+    sem = Semaphore(1)
+
+    def body():
+        yield SemWait(sem)
+
+    thread = simos.spawn(body())
+    engine.run()
+    assert thread.done
+    assert sem.count == 0
+    assert sem.block_count == 0
+
+
+def test_semaphore_fifo_wakeup():
+    engine, simos = make_os(cores=4)
+    sem = Semaphore(0)
+    order = []
+
+    def waiter(name):
+        yield SemWait(sem)
+        order.append(name)
+
+    def poster():
+        yield Cpu(usec(10), CPU_REAL_WORK)
+        for _ in range(3):
+            yield SemPost(sem)
+            yield Cpu(usec(10), CPU_REAL_WORK)
+
+    # spawn waiters in order a, b, c
+    for name in "abc":
+        simos.spawn(waiter(name))
+    simos.spawn(poster())
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_mutex_mutual_exclusion():
+    engine, simos = make_os(cores=2)
+    mutex = Mutex()
+    active = {"n": 0, "max": 0}
+
+    def body():
+        for _ in range(5):
+            yield SemWait(mutex)
+            active["n"] += 1
+            active["max"] = max(active["max"], active["n"])
+            yield Cpu(usec(3), CPU_REAL_WORK)
+            active["n"] -= 1
+            yield SemPost(mutex)
+
+    simos.spawn(body())
+    simos.spawn(body())
+    engine.run()
+    assert active["max"] == 1
+
+
+def test_preemption_under_oversubscription():
+    engine, simos = make_os(cores=1, quantum_ns=usec(50))
+
+    def hog():
+        for _ in range(100):
+            yield Cpu(usec(10), CPU_REAL_WORK)
+
+    simos.spawn(hog())
+    simos.spawn(hog())
+    engine.run()
+    assert simos.preemptions.value > 5
+
+
+def test_yield_cpu_round_robins():
+    engine, simos = make_os(cores=1)
+    order = []
+
+    def body(name):
+        for _ in range(3):
+            yield Cpu(usec(1), CPU_REAL_WORK)
+            order.append(name)
+            yield YieldCpu()
+
+    simos.spawn(body("a"))
+    simos.spawn(body("b"))
+    engine.run()
+    assert order[:4] == ["a", "b", "a", "b"]
+
+
+def test_cpu_accounting_by_group():
+    engine, simos = make_os(cores=2)
+
+    def body():
+        yield Cpu(usec(4), CPU_REAL_WORK)
+
+    simos.spawn(body(), group="g1")
+    simos.spawn(body(), group="g2")
+    engine.run()
+    assert simos.cpu_account("g1").total_ns == usec(4)
+    assert simos.cpu_account().total_ns == usec(8)
+
+
+def test_cores_used_measurement():
+    engine, simos = make_os(cores=4)
+
+    def body():
+        yield Cpu(usec(100), CPU_REAL_WORK)
+
+    start_busy = simos.total_busy_ns()
+    start_time = engine.now
+    simos.spawn(body())
+    simos.spawn(body())
+    engine.run()
+    assert simos.cores_used(start_busy, start_time) == pytest.approx(2.0)
+
+
+def test_thread_exit_callback():
+    engine, simos = make_os()
+    done = []
+
+    def body():
+        yield Cpu(usec(1), CPU_REAL_WORK)
+
+    thread = simos.spawn(body())
+    thread.on_exit.append(lambda t: done.append(t.tid))
+    engine.run()
+    assert done == [thread.tid]
+
+
+def test_thread_exception_propagates():
+    engine, simos = make_os()
+
+    def body():
+        yield Cpu(usec(1), CPU_REAL_WORK)
+        raise ValueError("boom")
+
+    simos.spawn(body())
+    with pytest.raises(ValueError, match="boom"):
+        engine.run()

@@ -1,0 +1,137 @@
+"""Unit tests for layout helpers, allocator and WAL."""
+
+import pytest
+
+from repro.errors import AllocationError, StorageError
+from repro.storage.allocator import PageAllocator
+from repro.storage.layout import PageReader, PageWriter
+from repro.storage.wal import WriteAheadLog, decode_wal_page
+
+
+class TestLayout:
+    def test_roundtrip_all_widths(self):
+        writer = PageWriter(64)
+        writer.u8(0xAB)
+        writer.u16(0xBEEF)
+        writer.u32(0xDEADBEEF)
+        writer.u64(0x0123456789ABCDEF)
+        writer.i64(-42)
+        writer.raw(b"hello")
+        image = writer.finish()
+        assert len(image) == 64
+
+        reader = PageReader(image)
+        assert reader.u8() == 0xAB
+        assert reader.u16() == 0xBEEF
+        assert reader.u32() == 0xDEADBEEF
+        assert reader.u64() == 0x0123456789ABCDEF
+        assert reader.i64() == -42
+        assert reader.raw(5) == b"hello"
+
+    def test_writer_overflow_raises(self):
+        writer = PageWriter(8)
+        writer.u64(1)
+        with pytest.raises(Exception):
+            writer.u8(1)
+
+    def test_raw_overflow_raises(self):
+        writer = PageWriter(4)
+        with pytest.raises(ValueError):
+            writer.raw(b"12345")
+
+    def test_seek(self):
+        writer = PageWriter(16)
+        writer.u64(7)
+        writer.seek(0)
+        writer.u64(9)
+        reader = PageReader(writer.finish())
+        assert reader.u64() == 9
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        alloc = PageAllocator(base=10, capacity=5)
+        assert [alloc.allocate() for _ in range(3)] == [10, 11, 12]
+        assert alloc.allocated_count == 3
+        assert alloc.free_count == 2
+
+    def test_free_and_reuse(self):
+        alloc = PageAllocator(base=0, capacity=4)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        alloc.free(a)
+        assert alloc.allocate() == a
+        assert alloc.allocated_count == 2
+        assert b == 1
+
+    def test_exhaustion(self):
+        alloc = PageAllocator(base=0, capacity=2)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(AllocationError):
+            alloc.allocate()
+
+    def test_free_unallocated_rejected(self):
+        alloc = PageAllocator(base=0, capacity=10)
+        with pytest.raises(AllocationError):
+            alloc.free(5)
+
+    def test_watermark_restore(self):
+        alloc = PageAllocator(base=1, capacity=100, next_page=50)
+        assert alloc.allocate() == 50
+
+    def test_bad_watermark_rejected(self):
+        with pytest.raises(ValueError):
+            PageAllocator(base=1, capacity=10, next_page=500)
+
+
+class TestWal:
+    def test_append_and_flush_roundtrip(self):
+        wal = WriteAheadLog(page_size=256, base_lba=100, num_pages=16)
+        lsns = [wal.append(b"record-%d" % i) for i in range(5)]
+        assert lsns == [0, 1, 2, 3, 4]
+        writes, flush_lsn = wal.take_flushable(include_partial=True)
+        assert flush_lsn == 4
+        assert len(writes) == 1
+        lba, image = writes[0]
+        assert lba == 100
+        first_lsn, records = decode_wal_page(image)
+        assert first_lsn == 0
+        assert records == [b"record-%d" % i for i in range(5)]
+
+    def test_group_commit_skips_partial(self):
+        wal = WriteAheadLog(page_size=64, base_lba=0, num_pages=8)
+        wal.append(b"x" * 10)
+        writes, _lsn = wal.take_flushable(include_partial=False)
+        assert writes == []
+        assert wal.pending_records() == 1
+
+    def test_page_fills_and_seals(self):
+        wal = WriteAheadLog(page_size=64, base_lba=0, num_pages=8)
+        # page capacity = 64 - 16 header = 48 bytes; records of 20+2
+        for _ in range(4):
+            wal.append(b"y" * 20)
+        writes, flush_lsn = wal.take_flushable(include_partial=False)
+        assert len(writes) >= 1
+        assert flush_lsn >= 1
+
+    def test_record_too_large(self):
+        wal = WriteAheadLog(page_size=64, base_lba=0, num_pages=8)
+        with pytest.raises(StorageError):
+            wal.append(b"z" * 60)
+
+    def test_wraparound_lbas(self):
+        wal = WriteAheadLog(page_size=64, base_lba=10, num_pages=2)
+        assert wal.lba_for_seq(0) == 10
+        assert wal.lba_for_seq(1) == 11
+        assert wal.lba_for_seq(2) == 10
+
+    def test_durable_lsn_tracking(self):
+        wal = WriteAheadLog(page_size=256, base_lba=0, num_pages=4)
+        wal.append(b"a")
+        wal.append(b"b")
+        assert wal.durable_lsn == -1
+        _writes, flush_lsn = wal.take_flushable(True)
+        wal.mark_durable(flush_lsn)
+        assert wal.durable_lsn == 1
+        assert wal.pending_records() == 0

@@ -1,0 +1,171 @@
+"""Unit tests for tree creation, bulk loading and validation."""
+
+import pytest
+
+from repro.core.meta import META_PAGE, TreeMeta
+from repro.core.tree import PaTree
+from repro.errors import TreeError
+from repro.nvme.device import NvmeDevice, fast_test_profile
+from repro.sim.engine import Engine
+
+
+def make_device():
+    return NvmeDevice(Engine(seed=1), fast_test_profile())
+
+
+def items(n, start=1, stride=10):
+    return [
+        ((start + i) * stride, ((start + i) * stride).to_bytes(8, "little"))
+        for i in range(n)
+    ]
+
+
+class TestCreateOpen:
+    def test_create_empty_tree(self):
+        tree = PaTree.create(make_device())
+        assert tree.meta.height == 1
+        assert tree.meta.key_count == 0
+        assert tree.validate() == {"levels": 1, "nodes": 1, "keys": 0}
+
+    def test_open_reads_meta_back(self):
+        device = make_device()
+        tree = PaTree.create(device)
+        tree.bulk_load(items(100))
+        reopened = PaTree.open(device)
+        assert reopened.meta.key_count == 100
+        assert reopened.meta.root_page == tree.meta.root_page
+        assert list(reopened.iterate_items_raw()) == items(100)
+
+    def test_open_allocator_watermark_preserved(self):
+        device = make_device()
+        tree = PaTree.create(device)
+        tree.bulk_load(items(500))
+        reopened = PaTree.open(device)
+        fresh = reopened.allocator.allocate()
+        assert fresh >= tree.allocator.next_page - 1
+
+    def test_meta_roundtrip(self):
+        meta = TreeMeta(512, 8, root_page=7, height=3, next_page=99, key_count=42)
+        restored = TreeMeta.from_bytes(meta.to_bytes())
+        assert restored.root_page == 7
+        assert restored.height == 3
+        assert restored.next_page == 99
+        assert restored.key_count == 42
+
+
+class TestBulkLoad:
+    def test_small_load_single_leaf(self):
+        tree = PaTree.create(make_device())
+        tree.bulk_load(items(5))
+        stats = tree.validate()
+        assert stats == {"levels": 2, "nodes": 2, "keys": 5} or stats["keys"] == 5
+
+    def test_multi_level_load(self):
+        tree = PaTree.create(make_device())
+        tree.bulk_load(items(5_000))
+        stats = tree.validate(check_fill=True)
+        assert stats["keys"] == 5_000
+        assert stats["levels"] >= 3
+        assert list(tree.iterate_items_raw()) == items(5_000)
+
+    def test_unsorted_input_rejected(self):
+        tree = PaTree.create(make_device())
+        with pytest.raises(TreeError):
+            tree.bulk_load([(5, b"x" * 8), (3, b"y" * 8)])
+
+    def test_duplicate_input_rejected(self):
+        tree = PaTree.create(make_device())
+        with pytest.raises(TreeError):
+            tree.bulk_load([(5, b"x" * 8), (5, b"y" * 8)])
+
+    def test_non_empty_tree_rejected(self):
+        tree = PaTree.create(make_device())
+        tree.bulk_load(items(10))
+        with pytest.raises(TreeError):
+            tree.bulk_load(items(10, start=1000))
+
+    def test_empty_load_is_noop(self):
+        tree = PaTree.create(make_device())
+        tree.bulk_load([])
+        assert tree.meta.key_count == 0
+
+    def test_fill_factor_bounds(self):
+        tree = PaTree.create(make_device())
+        with pytest.raises(TreeError):
+            tree.bulk_load(items(10), fill_factor=0.01)
+
+    @pytest.mark.parametrize("count", [1, 21, 22, 441, 463, 2000])
+    def test_boundary_sizes(self, count):
+        """Sizes around leaf/inner fan-out boundaries build correctly."""
+        tree = PaTree.create(make_device())
+        tree.bulk_load(items(count))
+        stats = tree.validate()
+        assert stats["keys"] == count
+        assert list(tree.iterate_items_raw()) == items(count)
+
+    def test_leaf_chain_high_keys(self):
+        tree = PaTree.create(make_device())
+        tree.bulk_load(items(300))
+        node = tree.read_node_raw(tree.meta.root_page)
+        while not node.is_leaf:
+            node = tree.read_node_raw(node.children[0])
+        while node.next_id:
+            next_node = tree.read_node_raw(node.next_id)
+            assert node.high_key == next_node.keys[0]
+            node = next_node
+
+
+class TestValidation:
+    def test_detects_count_mismatch(self):
+        tree = PaTree.create(make_device())
+        tree.bulk_load(items(50))
+        tree.meta.key_count = 49
+        with pytest.raises(TreeError):
+            tree.validate()
+
+
+class TestMetaVersioning:
+    def test_bad_meta_version_detected(self):
+        from repro.core.meta import TreeMeta
+        from repro.errors import CorruptPageError
+
+        meta = TreeMeta(512, 8, root_page=1, height=1, next_page=2)
+        image = bytearray(meta.to_bytes())
+        image[4] = 0xFF  # corrupt the version field
+        with pytest.raises(CorruptPageError):
+            TreeMeta.from_bytes(bytes(image))
+
+    def test_bad_meta_magic_detected(self):
+        from repro.core.meta import TreeMeta
+        from repro.errors import CorruptPageError
+
+        with pytest.raises(CorruptPageError):
+            TreeMeta.from_bytes(bytes(512))
+
+
+class TestRecovery:
+    def test_recovery_recounts_and_raises_watermark(self):
+        device = make_device()
+        tree = PaTree.create(device)
+        tree.bulk_load(items(200))
+        # simulate a crash where meta lags: claim fewer keys and an old
+        # watermark, as if updates after the last root change were lost
+        stale_next = tree.meta.root_page  # far below the real watermark
+        tree.meta.key_count = 3
+        tree.meta.next_page = stale_next
+        device.raw_write(0, tree.meta.to_bytes())
+
+        recovered = PaTree.open(device, recover=True)
+        assert recovered.meta.key_count == 200
+        assert recovered.allocator.next_page > stale_next
+        fresh = recovered.allocator.allocate()
+        # the recovered allocator never hands out a reachable page
+        reachable = set()
+        stack = [recovered.meta.root_page]
+        while stack:
+            page_id = stack.pop()
+            reachable.add(page_id)
+            node = recovered.read_node_raw(page_id)
+            if not node.is_leaf:
+                stack.extend(node.children)
+        assert fresh not in reachable
