@@ -9,6 +9,8 @@ Examples::
     python -m repro.bench fig3
     python -m repro.bench fig7 --ops 2000
     python -m repro.bench all --out results/
+    python -m repro.bench trace list
+    python -m repro.bench trace fig7 --out traces/
 """
 
 import argparse
@@ -93,10 +95,20 @@ def main(argv=None):
     )
     parser.add_argument(
         "exhibit",
-        help="one of: %s, 'all', or 'list'" % ", ".join(sorted(_EXHIBITS)),
+        help="one of: %s, 'all', 'list', or 'trace'"
+        % ", ".join(sorted(_EXHIBITS)),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="with 'trace': the experiment to record (or 'list')",
     )
     parser.add_argument(
         "--ops", type=int, default=None, help="operations per measurement point"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="root simulation seed"
     )
     parser.add_argument(
         "--out", default=None, help="directory to also write text tables into"
@@ -107,6 +119,11 @@ def main(argv=None):
         for name, (title, _fn) in sorted(_EXHIBITS.items()):
             print("%-8s %s" % (name, title))
         return 0
+
+    if args.exhibit == "trace":
+        from repro.bench import trace
+
+        return trace.main(args)
 
     names = sorted(_EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     unknown = [name for name in names if name not in _EXHIBITS]
@@ -121,9 +138,13 @@ def main(argv=None):
         path = os.path.join(args.out, name + ".txt") if args.out else None
         out, close = _make_writer(path)
         try:
-            fn(args, out)
+            rows = fn(args, out)
         finally:
             close()
+        if args.out and isinstance(rows, list):
+            from repro.bench.report import write_bench_json
+
+            write_bench_json(name, rows, args.out)
     return 0
 
 

@@ -182,3 +182,4 @@ def report(rows=None, out=print):
         ("p99 lat (us)", "p99_latency_us"),
     ]
     print_table("Fig 15: end-to-end comparison", columns, rows, out=out)
+    return rows

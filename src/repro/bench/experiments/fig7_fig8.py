@@ -78,3 +78,4 @@ def report(rows=None, out=print):
                 pa[0]["throughput_ops"] / max(best_dedicated["throughput_ops"], 1),
             )
         )
+    return rows

@@ -55,6 +55,41 @@ def shape_ratio(a, b):
     return a / b
 
 
+def write_bench_json(name, payload, out_dir):
+    """Write ``BENCH_<name>.json`` for machine consumption.
+
+    ``payload`` is either a dict (a traced-run summary with histogram /
+    time-series sections) or a list of experiment row dicts; non-JSON
+    values (e.g. attached trace sessions) are dropped.  Output is
+    sorted-key, indented JSON so diffs across PRs track the perf
+    trajectory.
+    """
+    import json
+    import os
+
+    def scrub(value):
+        if isinstance(value, dict):
+            return {
+                str(key): scrub(item)
+                for key, item in value.items()
+                if _jsonable(item)
+            }
+        if isinstance(value, (list, tuple)):
+            return [scrub(item) for item in value if _jsonable(item)]
+        return value
+
+    def _jsonable(value):
+        return isinstance(
+            value, (dict, list, tuple, int, float, str, bool, type(None))
+        )
+
+    path = os.path.join(out_dir, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(scrub(payload), handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path
+
+
 def write_csv(rows, path, columns=None):
     """Write experiment rows to a CSV file for downstream plotting.
 

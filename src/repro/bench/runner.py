@@ -168,12 +168,26 @@ def run_pa(
     device_profile=None,
     open_loop_rate=None,
     fill_factor=0.7,
+    trace=False,
 ):
-    """Run one PA-Tree experiment; returns the flat stats dict."""
+    """Run one PA-Tree experiment; returns the flat stats dict.
+
+    With ``trace=True`` a :class:`repro.obs.TraceSession` records the
+    whole run (spans, time series, histograms) and is returned under
+    the ``"trace_session"`` key.  Tracing observes through hook points
+    that charge no virtual time, so every reported quantity matches the
+    untraced run exactly.
+    """
     machine = _Machine(seed, device_profile, spec.payload_size)
     rng = RngRegistry(seed).stream("workload")
     workload = spec.build(rng)
     machine.tree.bulk_load(workload.preload_items(), fill_factor)
+
+    session = None
+    if trace:
+        from repro.obs import TraceSession
+
+        session = TraceSession(machine.engine)
 
     if policy is None:
         if scheduler == "workload_aware":
@@ -194,16 +208,21 @@ def run_pa(
     else:
         source = ClosedLoopSource(operations, window=window)
 
+    buffer = _make_buffer(persistence, buffer_pages)
     pa = PaTreeEngine(
         machine.simos,
         machine.driver,
         machine.tree,
         policy,
         source=source,
-        buffer=_make_buffer(persistence, buffer_pages),
+        buffer=buffer,
         persistence=persistence,
         dedicated_poller=dedicated_poller,
+        tracer=session.tracer if session is not None else None,
     )
+    if session is not None:
+        session.attach_machine(machine, worker=pa, buffer=buffer)
+        session.start()
     pa.run_to_completion()
     if persistence == "weak":
         # Flush the dirty tail so media-level validation sees every
@@ -211,6 +230,8 @@ def run_pa(
         pa.source = ClosedLoopSource([sync_op()], window=1)
         pa._shutdown = False
         pa.run_to_completion()
+    if session is not None:
+        session.finish()
     machine.tree.validate()
 
     result = {
@@ -220,6 +241,8 @@ def run_pa(
         "probes": pa.probes.value,
         "latch_waits": pa.latch_wait_events.value,
     }
+    if session is not None:
+        result["trace_session"] = session
     return _finish_stats(
         result,
         machine,

@@ -54,3 +54,15 @@ class ReadOnlyBuffer:
     def hit_rate(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self):
+        """Stats dict for the observability exporters."""
+        return {
+            "mode": self.mode,
+            "pages": len(self._lru),
+            "capacity": self._lru.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+            "dirty": 0,
+        }

@@ -33,6 +33,7 @@ from repro.core.ops import (
 from repro.core.plans import make_plan
 from repro.errors import SchedulerError, TreeError
 from repro.nvme.command import NvmeCommand, OP_READ
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.metrics import (
     CPU_NVME,
     CPU_REAL_WORK,
@@ -68,6 +69,7 @@ class PaTreeEngine:
         qpair=None,
         dedicated_poller=POLLER_NONE,
         name="pa-tree",
+        tracer=None,
     ):
         if persistence not in (PERSISTENCE_STRONG, PERSISTENCE_WEAK):
             raise SchedulerError("unknown persistence mode %r" % persistence)
@@ -89,6 +91,11 @@ class PaTreeEngine:
         self.qpair = qpair or driver.alloc_qpair(sq_size=4096, cq_size=4096)
         self.dedicated_poller = dedicated_poller
         self.name = name
+        # observability: tracer records spans when enabled; op_observer
+        # (a TraceSession) sees every completed operation
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.op_observer = None
+        self._track = "worker:%s" % name
 
         from repro.sched.history import IoHistory
 
@@ -185,7 +192,18 @@ class PaTreeEngine:
             if policy.ready_count():
                 yield Cpu(policy.pick_cost_ns(), CPU_SCHED)
                 op = policy.pick()
-                yield from self._process(op)
+                tracer = self.tracer
+                if tracer.enabled:
+                    span = tracer.begin(
+                        self._track,
+                        "process:%s" % op.kind,
+                        cat="worker",
+                        args={"seq": op.seq},
+                    )
+                    yield from self._process(op)
+                    tracer.end(span, args={"state": op.state})
+                else:
+                    yield from self._process(op)
                 worked = True
 
             if not poller and self.io_history.outstanding_count:
@@ -194,6 +212,8 @@ class PaTreeEngine:
                     yield Cpu(gate_cost, CPU_SCHED)
                     worked = True
                 if policy.should_probe():
+                    tracer = self.tracer
+                    probe_start_ns = self.clock.now if tracer.enabled else 0
                     yield Cpu(driver.probe_cpu_ns(0), CPU_NVME)
                     completed = driver.probe(self.qpair)
                     self.probes.add()
@@ -202,6 +222,15 @@ class PaTreeEngine:
                         yield Cpu(
                             len(completed) * profile.probe_cpu_per_completion_ns,
                             CPU_NVME,
+                        )
+                    if tracer.enabled:
+                        tracer.complete(
+                            self._track,
+                            "probe",
+                            probe_start_ns,
+                            self.clock.now,
+                            cat="worker",
+                            args={"completions": len(completed)},
                         )
                     worked = True
 
@@ -268,6 +297,10 @@ class PaTreeEngine:
         op.gen = make_plan(op, self.tree)
         op.state = ST_READY
         self.inflight += 1
+        if self.tracer.enabled:
+            self.tracer.async_begin(
+                "op", op.seq, op.kind, args={"key": op.key}
+            )
         self.policy.on_ready(op)
 
     def _process(self, op):
@@ -296,6 +329,11 @@ class PaTreeEngine:
                 if not self.latches.request(op, effect.page_id, effect.mode):
                     op.state = ST_LATCH_WAIT
                     self.latch_wait_events.add()
+                    if self.tracer.enabled:
+                        self.tracer.async_instant(
+                            "op", op.seq, "latch_wait",
+                            args={"page": effect.page_id},
+                        )
                     return
 
             elif kind is UnlatchEff:
@@ -309,6 +347,8 @@ class PaTreeEngine:
                 result = yield from self._read_page(op, effect.page_id)
                 if result is None:
                     op.state = ST_IO_WAIT
+                    if self.tracer.enabled:
+                        self.tracer.async_instant("op", op.seq, "io_wait")
                     return
                 send = result
 
@@ -316,6 +356,8 @@ class PaTreeEngine:
                 waiting = yield from self._write_wave(op, effect)
                 if waiting:
                     op.state = ST_IO_WAIT
+                    if self.tracer.enabled:
+                        self.tracer.async_instant("op", op.seq, "io_wait")
                     return
 
             elif kind is ChargeEff:
@@ -325,6 +367,8 @@ class PaTreeEngine:
                 waiting, flushed = yield from self._start_sync(op)
                 if waiting:
                     op.state = ST_IO_WAIT
+                    if self.tracer.enabled:
+                        self.tracer.async_instant("op", op.seq, "io_wait")
                     return
                 send = flushed
 
@@ -417,6 +461,10 @@ class PaTreeEngine:
             self.user_completed += 1
             self.last_user_done_ns = op.done_ns
         self.latencies.record(op.latency_ns)
+        if self.tracer.enabled:
+            self.tracer.async_end("op", op.seq, op.kind)
+        if self.op_observer is not None:
+            self.op_observer.on_op_complete(op)
         self.source.on_op_complete(op)
         if op.on_complete is not None:
             op.on_complete(op)

@@ -150,6 +150,10 @@ class NvmeDevice:
         self.write_latency_sum_ns = 0
         self.outstanding = TimeWeightedGauge(engine.clock)
         self.probe_calls = Counter()
+        # observability hooks: called with each command at submission /
+        # completion-visible time; must not mutate device or queue state
+        self.on_submit = None
+        self.on_complete = None
 
     # ------------------------------------------------------------------
     # host-facing operations (called via the driver)
@@ -180,6 +184,8 @@ class NvmeDevice:
         qpair.outstanding += 1
         qpair.submitted += 1
         self.outstanding.add(1)
+        if self.on_submit is not None:
+            self.on_submit(command)
         self._try_start()
 
     def probe(self, qpair, max_completions=0):
@@ -318,3 +324,7 @@ class NvmeDevice:
             self.reads_completed.add()
             self.read_latency_sum_ns += latency
         qpair.cq.push(command)
+        if self.on_complete is not None:
+            self.on_complete(command)
+        if qpair.on_complete is not None:
+            qpair.on_complete(command)

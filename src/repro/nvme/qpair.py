@@ -9,9 +9,23 @@ from repro.nvme.queue import Ring
 
 
 class QueuePair:
-    """A submission/completion queue pair owned by one application actor."""
+    """A submission/completion queue pair owned by one application actor.
 
-    __slots__ = ("qid", "sq", "cq", "outstanding", "submitted", "completed")
+    ``on_complete`` is an observability hook: when set, the device calls
+    it with each command as its completion becomes visible on the
+    completion ring (before any host-side probe).  It must not mutate
+    queue state; the default ``None`` costs one attribute check.
+    """
+
+    __slots__ = (
+        "qid",
+        "sq",
+        "cq",
+        "outstanding",
+        "submitted",
+        "completed",
+        "on_complete",
+    )
 
     def __init__(self, qid, sq_size=1024, cq_size=1024):
         self.qid = qid
@@ -20,6 +34,7 @@ class QueuePair:
         self.outstanding = 0
         self.submitted = 0
         self.completed = 0
+        self.on_complete = None
 
     @property
     def has_pending_submissions(self):

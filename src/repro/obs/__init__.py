@@ -1,0 +1,50 @@
+"""Observability: tracing and metrics for the simulated PA-Tree stack.
+
+The paper's claims rest on *accounted* quantities — latency breakdowns,
+queue depth over time, CPU-cycle splits.  This package makes a run
+inspectable instead of only aggregable:
+
+* :mod:`repro.obs.tracer` — per-operation lifecycle spans and instant
+  events recorded in virtual time with deterministic IDs.
+* :mod:`repro.obs.series` — fixed-bucket latency histograms and a
+  periodic virtual-time sampler for queue depth / outstanding I/Os /
+  buffer hit rate.
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  newline-delimited JSONL exporters, plus a text "top spans" summary.
+* :mod:`repro.obs.session` — :class:`TraceSession`, which attaches all
+  of the above to a simulated machine through the null-default hook
+  points (``engine.on_dispatch``, device completion hooks, scheduler
+  transition callbacks).
+
+Everything is zero-overhead-when-disabled: components hold a
+:data:`~repro.obs.tracer.NULL_TRACER` whose ``enabled`` flag gates every
+record call behind a single attribute check, and the hook points default
+to ``None``.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    to_chrome_trace,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.series import Histogram, TimeSeriesSampler, latency_histogram
+from repro.obs.session import TraceSession
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "Histogram",
+    "TimeSeriesSampler",
+    "latency_histogram",
+    "TraceSession",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "trace_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]

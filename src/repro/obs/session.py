@@ -1,0 +1,233 @@
+"""TraceSession: attach the full observability stack to one machine.
+
+A session owns a :class:`~repro.obs.tracer.Tracer`, a periodic
+:class:`~repro.obs.series.TimeSeriesSampler` and a set of fixed-bucket
+latency histograms, and knows how to plug them into the stack's
+null-default hook points:
+
+* ``Engine.on_dispatch`` — kernel event accounting,
+* ``NvmeDevice.on_submit`` / ``on_complete`` — per-I/O async spans and
+  read/write latency histograms (with fetch/post breakdown args),
+* ``SimOS.on_thread_state`` — on-core slices per simulated thread,
+* worker ``tracer`` / ``op_observer`` — operation lifecycle spans and
+  per-kind operation latency histograms.
+
+None of the callbacks charges virtual CPU or mutates simulation state,
+so a traced run reaches the same virtual-time results as an untraced
+one; with no session attached every hook point stays ``None`` and the
+only cost is one attribute check.
+"""
+
+from repro.nvme.command import OP_READ
+from repro.obs.export import trace_summary, write_chrome_trace, write_jsonl
+from repro.obs.series import TimeSeriesSampler, latency_histogram
+from repro.obs.tracer import Tracer
+from repro.sim.clock import usec
+from repro.simos.thread import T_RUNNING
+
+
+class TraceSession:
+    """One recording of one simulated machine."""
+
+    def __init__(self, engine, sample_interval_ns=usec(100),
+                 max_events=2_000_000):
+        self.engine = engine
+        self.tracer = Tracer(engine.clock, max_events=max_events)
+        self.sampler = TimeSeriesSampler(
+            engine, sample_interval_ns, tracer=self.tracer
+        )
+        self.read_latency = latency_histogram()
+        self.write_latency = latency_histogram()
+        self.op_latency = {}  # op kind -> Histogram
+        self.dispatches = 0
+        self._io_seq = 0
+        self._io_ids = {}
+        self._running_since = {}  # tid -> (start_ns, core_index)
+        self._simos = None
+        self._device = None
+        self._buffer = None
+        self._workers = []
+        engine.on_dispatch = self._on_dispatch
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def attach_device(self, device):
+        self._device = device
+        device.on_submit = self._on_io_submit
+        device.on_complete = self._on_io_complete
+        profile = device.profile
+        self.sampler.add_probe(
+            "device_outstanding", lambda: device.outstanding.value
+        )
+        self.sampler.add_probe(
+            "channel_util",
+            lambda: (profile.channels - device._free_channels)
+            / profile.channels,
+        )
+        return self
+
+    def attach_simos(self, simos):
+        self._simos = simos
+        simos.on_thread_state = self._on_thread_state
+        return self
+
+    def attach_worker(self, worker):
+        """Wire a PA-Tree engine or PA-LSM worker into the session."""
+        self._workers.append(worker)
+        worker.tracer = self.tracer
+        worker.op_observer = self
+        self.sampler.add_probe("ready_ops", worker.policy.ready_count)
+        self.sampler.add_probe("inflight_ops", lambda: worker.inflight)
+        self.sampler.add_probe(
+            "outstanding_ios",
+            lambda: worker.io_history.outstanding_count,
+        )
+        return self
+
+    def attach_buffer(self, buffer):
+        if buffer is None:
+            return self
+        self._buffer = buffer
+        self.sampler.add_probe("buffer_hit_rate", buffer.hit_rate)
+        self.sampler.add_probe("buffer_dirty", lambda: buffer.dirty_count)
+        return self
+
+    def attach_machine(self, machine, worker=None, buffer=None):
+        """Convenience: attach every component of a bench ``_Machine``."""
+        self.attach_device(machine.device)
+        self.attach_simos(machine.simos)
+        if worker is not None:
+            self.attach_worker(worker)
+        self.attach_buffer(buffer)
+        return self
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        self.sampler.start()
+        return self
+
+    def finish(self):
+        """Stop sampling and detach the hook points."""
+        self.sampler.stop()
+        if self.engine.on_dispatch == self._on_dispatch:
+            self.engine.on_dispatch = None
+        if self._device is not None:
+            self._device.on_submit = None
+            self._device.on_complete = None
+        if self._simos is not None:
+            self._simos.on_thread_state = None
+        return self
+
+    # ------------------------------------------------------------------
+    # hook callbacks (read-only with respect to simulation state)
+    # ------------------------------------------------------------------
+
+    def _on_dispatch(self, event):
+        self.dispatches += 1
+
+    def _on_io_submit(self, command):
+        aid = self._io_seq
+        self._io_seq += 1
+        self._io_ids[command] = aid
+        self.tracer.async_begin(
+            "io", aid, command.opcode, args={"lba": command.lba}
+        )
+
+    def _on_io_complete(self, command):
+        latency = command.visible_ns - command.submit_ns
+        if command.opcode == OP_READ:
+            self.read_latency.record(latency)
+        else:
+            self.write_latency.record(latency)
+        aid = self._io_ids.pop(command, None)
+        if aid is None:
+            return
+        self.tracer.async_end(
+            "io",
+            aid,
+            command.opcode,
+            args={
+                "lba": command.lba,
+                "fetch_us": (command.fetch_ns - command.submit_ns) / 1000,
+                "service_us": (command.complete_ns - command.fetch_ns) / 1000,
+                "post_us": (command.visible_ns - command.complete_ns) / 1000,
+            },
+        )
+
+    def _on_thread_state(self, thread, state):
+        if state == T_RUNNING:
+            if thread.tid not in self._running_since:
+                core = thread.core.index if thread.core is not None else -1
+                self._running_since[thread.tid] = (self.engine.now, core)
+            return
+        started = self._running_since.pop(thread.tid, None)
+        if started is None:
+            return
+        start_ns, core = started
+        end_ns = self.engine.now
+        if end_ns > start_ns:
+            self.tracer.complete(
+                "thread:%s" % thread.name,
+                "on-core",
+                start_ns,
+                end_ns,
+                cat="sched",
+                args={"core": core, "to": state},
+            )
+
+    # worker op_observer interface -------------------------------------
+
+    def on_op_complete(self, op):
+        histogram = self.op_latency.get(op.kind)
+        if histogram is None:
+            histogram = self.op_latency[op.kind] = latency_histogram()
+        histogram.record(op.latency_ns)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def cpu_account(self):
+        if self._simos is None:
+            return None
+        return self._simos.cpu_account()
+
+    def summary_text(self, top=15, out=None):
+        return trace_summary(
+            self.tracer, cpu_account=self.cpu_account(), top=top, out=out
+        )
+
+    def bench_summary(self):
+        """Machine-readable summary for ``BENCH_*.json`` artefacts."""
+        buffer_stats = (
+            self._buffer.snapshot() if self._buffer is not None else None
+        )
+        return {
+            "buffer": buffer_stats,
+            "dispatched_events": self.dispatches,
+            "trace_events": len(self.tracer.events),
+            "trace_events_dropped": self.tracer.dropped,
+            "io_latency": {
+                "read": self.read_latency.snapshot(),
+                "write": self.write_latency.snapshot(),
+            },
+            "op_latency": {
+                kind: histogram.snapshot()
+                for kind, histogram in sorted(self.op_latency.items())
+            },
+            "timeseries": {
+                "interval_us": self.sampler.interval_ns / 1000,
+                "probes": self.sampler.summary(),
+            },
+        }
+
+    def write_artifacts(self, prefix):
+        """Write ``<prefix>.trace.json`` and ``<prefix>.trace.jsonl``."""
+        trace_path = write_chrome_trace(self.tracer, prefix + ".trace.json")
+        jsonl_path = write_jsonl(self.tracer, prefix + ".trace.jsonl")
+        return trace_path, jsonl_path

@@ -26,6 +26,7 @@ from repro.core.ops import (
 )
 from repro.errors import SchedulerError
 from repro.nvme.command import OP_READ
+from repro.obs.tracer import NULL_TRACER
 from repro.palsm.store import (
     BackgroundWriteEff,
     OP_COMPACT,
@@ -50,7 +51,8 @@ _INTERNAL_KINDS = (OP_FLUSH, OP_COMPACT, SYNC)
 class PolledLsmWorker:
     """Single polled-mode worker over an :class:`AsyncLsmStore`."""
 
-    def __init__(self, simos, driver, store, policy, source, name="pa-lsm"):
+    def __init__(self, simos, driver, store, policy, source, name="pa-lsm",
+                 tracer=None):
         self.simos = simos
         self.engine = simos.engine
         self.clock = simos.engine.clock
@@ -59,6 +61,9 @@ class PolledLsmWorker:
         self.policy = policy
         self.source = source
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.op_observer = None
+        self._track = "worker:%s" % name
         self.qpair = driver.alloc_qpair(sq_size=4096, cq_size=4096)
 
         from repro.sched.history import IoHistory
@@ -143,7 +148,18 @@ class PolledLsmWorker:
             if policy.ready_count():
                 yield Cpu(policy.pick_cost_ns(), CPU_SCHED)
                 op = policy.pick()
-                yield from self._process(op)
+                tracer = self.tracer
+                if tracer.enabled:
+                    span = tracer.begin(
+                        self._track,
+                        "process:%s" % op.kind,
+                        cat="worker",
+                        args={"seq": op.seq},
+                    )
+                    yield from self._process(op)
+                    tracer.end(span, args={"state": op.state})
+                else:
+                    yield from self._process(op)
                 worked = True
 
             if self.io_history.outstanding_count:
@@ -152,6 +168,8 @@ class PolledLsmWorker:
                     yield Cpu(gate_cost, CPU_SCHED)
                     worked = True
                 if policy.should_probe():
+                    tracer = self.tracer
+                    probe_start_ns = self.clock.now if tracer.enabled else 0
                     yield Cpu(driver.probe_cpu_ns(0), CPU_NVME)
                     done = driver.probe(self.qpair)
                     self.probes.add()
@@ -160,6 +178,15 @@ class PolledLsmWorker:
                         yield Cpu(
                             len(done) * profile.probe_cpu_per_completion_ns,
                             CPU_NVME,
+                        )
+                    if tracer.enabled:
+                        tracer.complete(
+                            self._track,
+                            "probe",
+                            probe_start_ns,
+                            self.clock.now,
+                            cat="worker",
+                            args={"completions": len(done)},
                         )
                     worked = True
 
@@ -197,6 +224,10 @@ class PolledLsmWorker:
         op.state = ST_READY
         self.inflight += 1
         self._active_seqs.add(op.seq)
+        if self.tracer.enabled:
+            self.tracer.async_begin(
+                "op", op.seq, op.kind, args={"key": op.key}
+            )
         self.policy.on_ready(op)
 
     def _process(self, op):
@@ -225,6 +256,8 @@ class PolledLsmWorker:
                 self.io_history.on_submit(command)
                 op.io_remaining = 1
                 op.state = ST_IO_WAIT
+                if self.tracer.enabled:
+                    self.tracer.async_instant("op", op.seq, "io_wait")
                 return
 
             if kind is ReadBatchEff:
@@ -246,6 +279,10 @@ class PolledLsmWorker:
                     self._batch_reads[op.seq] = (effect.lbas, results)
                     op.io_remaining = pending
                     op.state = ST_IO_WAIT
+                    if self.tracer.enabled:
+                        self.tracer.async_instant(
+                            "op", op.seq, "io_wait", args={"ios": pending}
+                        )
                     return
                 send = [results[lba] for lba in effect.lbas]
                 continue
@@ -262,6 +299,10 @@ class PolledLsmWorker:
                 if count:
                     op.io_remaining = count
                     op.state = ST_IO_WAIT
+                    if self.tracer.enabled:
+                        self.tracer.async_instant(
+                            "op", op.seq, "io_wait", args={"ios": count}
+                        )
                     return
                 continue
 
@@ -292,6 +333,10 @@ class PolledLsmWorker:
         self.inflight -= 1
         self._active_seqs.discard(op.seq)
         self.completed.add()
+        if self.tracer.enabled:
+            self.tracer.async_end("op", op.seq, op.kind)
+        if self.op_observer is not None:
+            self.op_observer.on_op_complete(op)
         if op.kind in (OP_FLUSH, OP_COMPACT):
             pass  # internal maintenance: invisible to the source
         else:

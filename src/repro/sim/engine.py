@@ -33,6 +33,9 @@ class Engine:
         self.max_events = max_events
         self.dispatched = 0
         self._running = False
+        # Observability hook: called with each event just before its
+        # callback runs.  Must not schedule, cancel, or advance time.
+        self.on_dispatch = None
 
     @property
     def now(self):
@@ -83,6 +86,8 @@ class Engine:
                 fn = event.fn
                 event.fn = None
                 self.dispatched += 1
+                if self.on_dispatch is not None:
+                    self.on_dispatch(event)
                 if self.dispatched > self.max_events:
                     raise SimulationError(
                         "event budget exceeded (%d); likely a livelock"

@@ -43,7 +43,8 @@ class TimeWeightedGauge:
     by elapsed time.
     """
 
-    __slots__ = ("_clock", "_value", "_last_ns", "_area", "_max")
+    __slots__ = ("_clock", "_value", "_last_ns", "_area", "_max",
+                 "_start_ns", "_marks")
 
     def __init__(self, clock, initial=0):
         self._clock = clock
@@ -51,6 +52,8 @@ class TimeWeightedGauge:
         self._last_ns = clock.now
         self._area = 0.0
         self._max = initial
+        self._start_ns = clock.now
+        self._marks = {}
 
     @property
     def value(self):
@@ -71,29 +74,77 @@ class TimeWeightedGauge:
     def add(self, delta):
         self.set(self._value + delta)
 
+    def _area_now(self):
+        return self._area + self._value * (self._clock.now - self._last_ns)
+
+    def mark(self):
+        """Checkpoint the accumulated area at the current instant.
+
+        Call at the start of a measurement window, then pass the
+        returned time to :meth:`average` to get the exact mean over
+        that window.
+        """
+        now = self._clock.now
+        self._marks[now] = self._area_now()
+        return now
+
     def average(self, since_ns=0):
-        """Time-weighted mean of the gauge from ``since_ns`` to now."""
+        """Time-weighted mean of the gauge from ``since_ns`` to now.
+
+        Exact when ``since_ns`` is 0 (whole lifetime), a time returned
+        by :meth:`mark`, or no later than the last value change (the
+        value has been constant over the tail).  Other window starts
+        would silently require area the gauge no longer has, so they
+        raise ``ValueError`` instead of inflating the average by
+        dividing the whole accumulated area by the short window.
+        """
         now = self._clock.now
         elapsed = now - since_ns
         if elapsed <= 0:
             return float(self._value)
-        area = self._area + self._value * (now - self._last_ns)
+        area = self._area_now()
+        if since_ns > self._start_ns:
+            base = self._marks.get(since_ns)
+            if base is None:
+                if since_ns >= self._last_ns:
+                    base = area - self._value * (now - since_ns)
+                else:
+                    raise ValueError(
+                        "no checkpoint at t=%d; call mark() at the window"
+                        " start for windowed averages" % since_ns
+                    )
+            area -= base
         return area / elapsed
 
 
 class LatencyRecorder:
-    """Stores latency samples (ns) and reports summary statistics."""
+    """Stores latency samples (ns) and reports summary statistics.
+
+    Queries never mutate the recording order: percentiles work on a
+    lazily built sorted copy that is invalidated by :meth:`record`, so
+    interleaving queries with recording is safe and ``samples()``
+    always returns samples in arrival order.
+    """
 
     def __init__(self):
         self._samples = []
-        self._sorted = True
+        self._sorted_cache = None
 
     def __len__(self):
         return len(self._samples)
 
     def record(self, latency_ns):
         self._samples.append(latency_ns)
-        self._sorted = False
+        self._sorted_cache = None
+
+    def samples(self):
+        """The raw samples in arrival order (read-only view by copy)."""
+        return list(self._samples)
+
+    def _sorted_samples(self):
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._samples)
+        return self._sorted_cache
 
     def mean_usec(self):
         if not self._samples:
@@ -104,18 +155,16 @@ class LatencyRecorder:
         """q-th percentile in microseconds, q in [0, 100]."""
         if not self._samples:
             return 0.0
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
-        if len(self._samples) == 1:
-            return to_usec(self._samples[0])
-        rank = (q / 100.0) * (len(self._samples) - 1)
+        ordered = self._sorted_samples()
+        if len(ordered) == 1:
+            return to_usec(ordered[0])
+        rank = (q / 100.0) * (len(ordered) - 1)
         lo = int(math.floor(rank))
         hi = int(math.ceil(rank))
         if lo == hi:
-            return to_usec(self._samples[lo])
+            return to_usec(ordered[lo])
         frac = rank - lo
-        interp = self._samples[lo] * (1 - frac) + self._samples[hi] * frac
+        interp = ordered[lo] * (1 - frac) + ordered[hi] * frac
         return to_usec(interp)
 
     def p50_usec(self):
@@ -124,10 +173,24 @@ class LatencyRecorder:
     def p99_usec(self):
         return self.percentile_usec(99)
 
+    def p999_usec(self):
+        return self.percentile_usec(99.9)
+
     def max_usec(self):
         if not self._samples:
             return 0.0
         return to_usec(max(self._samples))
+
+    def snapshot(self):
+        """Summary dict used by the observability exporters."""
+        return {
+            "count": len(self._samples),
+            "mean_us": self.mean_usec(),
+            "p50_us": self.p50_usec(),
+            "p99_us": self.p99_usec(),
+            "p999_us": self.p999_usec(),
+            "max_us": self.max_usec(),
+        }
 
 
 class CpuAccount:

@@ -90,6 +90,9 @@ class SimOS:
         self.preemptions = Counter()
         self.sem_blocks = Counter()
         self._next_tid = 0
+        # Observability hook: called with (thread, new_state) on every
+        # scheduling transition.  Must not touch run queues or cores.
+        self.on_thread_state = None
 
     # ------------------------------------------------------------------
     # public API
@@ -138,6 +141,8 @@ class SimOS:
 
     def _make_runnable(self, thread):
         thread.state = T_RUNNABLE
+        if self.on_thread_state is not None:
+            self.on_thread_state(thread, T_RUNNABLE)
         if self._idle:
             self._dispatch_to(self._idle.pop(), thread)
         else:
@@ -160,6 +165,8 @@ class SimOS:
         core.current = thread
         thread.core = core
         thread.state = T_RUNNING
+        if self.on_thread_state is not None:
+            self.on_thread_state(thread, T_RUNNING)
         if switching:
             cs = self.profile.context_switch_ns
             self.context_switches.add()
@@ -173,6 +180,8 @@ class SimOS:
 
     def _finish(self, thread):
         thread.state = T_DONE
+        if self.on_thread_state is not None:
+            self.on_thread_state(thread, T_DONE)
         self._release_core(thread)
         callbacks = thread.on_exit
         thread.on_exit = []
@@ -219,6 +228,8 @@ class SimOS:
 
             if type(instr) is Sleep:
                 thread.state = T_SLEEPING
+                if self.on_thread_state is not None:
+                    self.on_thread_state(thread, T_SLEEPING)
                 self._release_core(thread)
                 self.engine.schedule(
                     instr.ns, partial(self._make_runnable, thread)
@@ -228,6 +239,8 @@ class SimOS:
             if type(instr) is YieldCpu:
                 if self.run_queue:
                     thread.state = T_RUNNABLE
+                    if self.on_thread_state is not None:
+                        self.on_thread_state(thread, T_RUNNABLE)
                     self.run_queue.append(thread)
                     self._release_core(thread)
                     return
@@ -244,6 +257,8 @@ class SimOS:
             self.preemptions.add()
             self.run_queue.append(thread)
             thread.state = T_RUNNABLE
+            if self.on_thread_state is not None:
+                self.on_thread_state(thread, T_RUNNABLE)
             self._release_core(thread)
             return
         self._step(thread)
@@ -256,6 +271,8 @@ class SimOS:
         self.sem_blocks.add()
         sem.waiters.append(thread)
         thread.state = T_BLOCKED
+        if self.on_thread_state is not None:
+            self.on_thread_state(thread, T_BLOCKED)
         self._release_core(thread)
 
     def _sem_post_cont(self, thread, sem):

@@ -52,6 +52,43 @@ def test_gauge_average_since_window():
     assert gauge.average(since_ns=100) == pytest.approx(8.0)
 
 
+def test_gauge_windowed_average_with_mark():
+    clock = Clock()
+    gauge = TimeWeightedGauge(clock)
+    gauge.set(100)
+    clock.advance_to(1_000)
+    start = gauge.mark()
+    gauge.set(2)
+    clock.advance_to(2_000)
+    # only the [1000, 2000) window counts: value 2 throughout, not the
+    # value-100 prefix that used to inflate windowed averages
+    assert gauge.average(since_ns=start) == pytest.approx(2.0)
+    # whole-lifetime average still exact
+    assert gauge.average() == pytest.approx((100 * 1_000 + 2 * 1_000) / 2_000)
+
+
+def test_gauge_tail_window_exact_without_mark():
+    clock = Clock()
+    gauge = TimeWeightedGauge(clock)
+    gauge.set(50)
+    clock.advance_to(100)
+    gauge.set(4)  # last change at t=100
+    clock.advance_to(300)
+    # window starts after the last change: value constant at 4
+    assert gauge.average(since_ns=200) == pytest.approx(4.0)
+
+
+def test_gauge_unknowable_window_raises():
+    clock = Clock()
+    gauge = TimeWeightedGauge(clock)
+    gauge.set(50)
+    clock.advance_to(100)
+    gauge.set(4)
+    clock.advance_to(300)
+    with pytest.raises(ValueError):
+        gauge.average(since_ns=50)  # mid-history, never marked
+
+
 def test_latency_recorder_stats():
     recorder = LatencyRecorder()
     for latency_us in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
@@ -75,6 +112,31 @@ def test_latency_recorder_single_sample():
     recorder.record(2_000)
     assert recorder.p50_usec() == pytest.approx(2.0)
     assert recorder.p99_usec() == pytest.approx(2.0)
+
+
+def test_latency_recorder_percentile_does_not_mutate_order():
+    recorder = LatencyRecorder()
+    arrivals = [9_000, 1_000, 5_000, 3_000]
+    for sample in arrivals:
+        recorder.record(sample)
+    recorder.p99_usec()
+    assert recorder.samples() == arrivals  # arrival order preserved
+    # interleaving record with queries stays correct
+    recorder.record(10_000)
+    assert recorder.max_usec() == pytest.approx(10.0)
+    assert recorder.samples() == arrivals + [10_000]
+
+
+def test_latency_recorder_p999_and_snapshot():
+    recorder = LatencyRecorder()
+    for sample_us in range(1, 1001):
+        recorder.record(sample_us * 1_000)
+    assert recorder.p999_usec() == pytest.approx(999.001, rel=1e-6)
+    snap = recorder.snapshot()
+    assert snap["count"] == 1000
+    assert snap["p50_us"] == pytest.approx(500.5)
+    assert snap["p999_us"] == recorder.p999_usec()
+    assert snap["max_us"] == pytest.approx(1000.0)
 
 
 def test_cpu_account_categories():
