@@ -23,7 +23,6 @@ from repro.sim.clock import NS_PER_SEC
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.simos.scheduler import SimOS, paper_testbed_profile
-from repro.workloads import YcsbWorkload
 
 BASELINE_THREADS = 32
 SYNC_EVERY = 1000

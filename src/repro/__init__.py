@@ -11,13 +11,27 @@ Quick start::
 
     from repro import PATreeSession
 
-    session = PATreeSession(seed=7)
-    session.bulk_load((k, k.to_bytes(8, "little")) for k in range(1, 10_001))
-    session.insert(123_456, b"hello!!" + b"\\x00")
-    assert session.search(123_456) is not None
+    with PATreeSession(seed=7) as session:
+        session.bulk_load((k, k.to_bytes(8, "little")) for k in range(1, 10_001))
+        session[123_456] = b"hello!!" + b"\\x00"
+        assert 123_456 in session
+
+Scale out across simulated devices with ``ShardedSession``::
+
+    from repro import SessionConfig, ShardedSession
+
+    with ShardedSession(SessionConfig(seed=7, shards=4)) as fleet:
+        ...
 """
 
-from repro.api import AsyncLsmSession, PATreeSession, SimEnvironment
+from repro.api import (
+    AsyncLsmSession,
+    BaseSession,
+    PATreeSession,
+    SessionConfig,
+    ShardedSession,
+    SimEnvironment,
+)
 from repro.core import (
     PERSISTENCE_STRONG,
     PERSISTENCE_WEAK,
@@ -31,15 +45,20 @@ from repro.core import (
     update_op,
 )
 from repro.errors import ReproError
+from repro.shard import ShardedPaTree
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PATreeSession",
     "AsyncLsmSession",
+    "ShardedSession",
+    "SessionConfig",
+    "BaseSession",
     "SimEnvironment",
     "PaTree",
     "PaTreeEngine",
+    "ShardedPaTree",
     "ReproError",
     "PERSISTENCE_STRONG",
     "PERSISTENCE_WEAK",

@@ -1,19 +1,39 @@
 """Public synchronous facade.
 
 Most users want a B+ tree they can call, not a simulation they must
-wire: :class:`PATreeSession` packages the simulation engine, OS model,
-NVMe device, tree, buffer and scheduler behind blocking calls.  Each
-call (or batch) drives the discrete-event simulation until the
-operations complete, then returns their results — so examples read
-like ordinary database code while every access still flows through the
-full polled-mode asynchronous machinery.
+wire.  The session classes here package a simulated machine (event
+engine, OS model, one or more NVMe devices), the index structure and
+its polled working thread(s) behind blocking calls: each call (or
+batch) drives the discrete-event simulation until the operations
+complete, then returns their results — so examples read like ordinary
+database code while every access still flows through the full
+polled-mode asynchronous machinery.
+
+All sessions share one shape:
+
+* construction from a :class:`SessionConfig` (or the equivalent
+  keyword arguments — both spellings work and may be mixed, keywords
+  winning),
+* context-manager support (``with PATreeSession(seed=7) as s: ...``)
+  and an idempotent :meth:`~BaseSession.close`,
+* dict-style sugar: ``s[key] = payload``, ``s[key]``, ``key in s``,
+* a :meth:`~BaseSession.stats` snapshot that returns a **fresh dict on
+  every call** whose counters are **cumulative** over the session's
+  lifetime (diff two snapshots to measure one batch).
+
+Three sessions exist: :class:`PATreeSession` (one PA-Tree on one
+device), :class:`AsyncLsmSession` (the PA-LSM extension on one
+device), and :class:`ShardedSession` (a hash- or range-sharded fleet
+of PA-Trees, one device per shard — see ``repro.shard``).
 
 For experiments that need explicit control (custom policies, baseline
 paradigms, open-loop arrival), use the underlying pieces directly; the
 benchmark harness in ``repro.bench`` shows how.
 """
 
-from repro.buffer import ReadOnlyBuffer, ReadWriteBuffer
+from dataclasses import dataclass, replace
+
+from repro.buffer import make_buffer
 from repro.core.engine import (
     PERSISTENCE_STRONG,
     PERSISTENCE_WEAK,
@@ -32,11 +52,58 @@ from repro.core.tree import PaTree
 from repro.errors import ReproError
 from repro.nvme.device import NvmeDevice, i3_nvme_profile
 from repro.nvme.driver import NvmeDriver
-from repro.sched.naive import NaiveScheduling
-from repro.sched.probe_model import cached_probe_model
-from repro.sched.workload_aware import WorkloadAwareScheduling
+from repro.sched import make_scheduler
 from repro.sim.engine import Engine
 from repro.simos.scheduler import SimOS, paper_testbed_profile
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Declarative configuration shared by every session facade.
+
+    Parameters
+    ----------
+    seed:
+        Simulation seed (full determinism).
+    payload_size:
+        Bytes per value (8 by default, as in the paper's YCSB setup).
+    persistence:
+        ``"strong"`` (every update durable on completion; read-only
+        buffering) or ``"weak"`` (write-back buffer + explicit
+        ``sync``).
+    buffer_pages:
+        Buffer capacity in pages (per shard for sharded sessions);
+        0 disables buffering (strong mode only).
+    scheduler:
+        ``"workload_aware"`` (Algorithm 2; trains/caches the probe
+        model on first use) or ``"naive"`` (Algorithm 1).
+    window:
+        Closed-loop in-flight window — how many concurrent callers
+        the session models (aggregate across shards).
+    device_profile / os_profile:
+        Hardware calibration; defaults model the paper's testbed.
+    memtable_entries:
+        LSM sessions only: memtable flush threshold.
+    shards / partitioning:
+        Sharded sessions only: shard count and ``"hash"`` or
+        ``"range"`` key placement.
+    """
+
+    seed: int = 0
+    payload_size: int = 8
+    persistence: str = PERSISTENCE_STRONG
+    buffer_pages: int = 4096
+    scheduler: str = "workload_aware"
+    window: int = 64
+    device_profile: object = None
+    os_profile: object = None
+    memtable_entries: int = 1_000
+    shards: int = 4
+    partitioning: str = "hash"
+
+    def merged(self, **overrides):
+        """A copy with ``overrides`` applied (unknown names raise)."""
+        return replace(self, **overrides)
 
 
 class SimEnvironment:
@@ -54,87 +121,73 @@ class SimEnvironment:
         return self.engine.clock.now_usec
 
 
-class PATreeSession:
-    """Blocking convenience wrapper around a PA-Tree on one device.
+class BaseSession:
+    """Common machinery of every blocking session facade.
 
-    Parameters
-    ----------
-    seed:
-        Simulation seed (full determinism).
-    payload_size:
-        Bytes per value (8 by default, as in the paper's YCSB setup).
-    persistence:
-        ``"strong"`` (every update durable on completion; read-only
-        buffer) or ``"weak"`` (write-back buffer + explicit ``sync``).
-    buffer_pages:
-        Buffer capacity in pages; 0 disables buffering (strong mode
-        only).
-    scheduler:
-        ``"workload_aware"`` (Algorithm 2; trains/caches the probe
-        model on first use) or ``"naive"`` (Algorithm 1).
-    window:
-        Closed-loop in-flight window — how many concurrent callers the
-        session models.
+    Subclasses set ``default_config`` (their knob defaults) and
+    implement ``_build(config)``, ``execute(operations)``, ``_get``
+    and ``_put``.  The base class provides configuration merging (a
+    ``SessionConfig``, keyword overrides, or a bare int treated as a
+    seed for backward compatibility), ``close()`` / context-manager
+    support, and the dict-style sugar.
     """
 
-    def __init__(
-        self,
-        seed=0,
-        payload_size=8,
-        persistence=PERSISTENCE_STRONG,
-        buffer_pages=4096,
-        scheduler="workload_aware",
-        window=64,
-        device_profile=None,
-        os_profile=None,
-    ):
-        self.env = SimEnvironment(seed, device_profile, os_profile)
-        self.window = window
-        self.tree = PaTree.create(self.env.device, payload_size=payload_size)
+    default_config = SessionConfig()
 
-        if persistence == PERSISTENCE_WEAK:
-            if buffer_pages <= 0:
-                raise ReproError("weak persistence requires a buffer")
-            buffer = ReadWriteBuffer(buffer_pages)
-        elif buffer_pages > 0:
-            buffer = ReadOnlyBuffer(buffer_pages)
-        else:
-            buffer = None
+    def __init__(self, config=None, **overrides):
+        if config is None:
+            config = self.default_config
+        elif isinstance(config, int):
+            # legacy positional call: PATreeSession(7) meant seed=7
+            config = self.default_config.merged(seed=config)
+        elif not isinstance(config, SessionConfig):
+            raise ReproError(
+                "config must be a SessionConfig or an int seed, not %r"
+                % (config,)
+            )
+        if overrides:
+            try:
+                config = config.merged(**overrides)
+            except TypeError as exc:
+                raise ReproError(str(exc)) from None
+        self.config = config
+        self.window = config.window
+        self.closed = False
+        self._build(config)
 
-        if scheduler == "workload_aware":
-            model = cached_probe_model(self.env.device_profile)
-            policy = WorkloadAwareScheduling(model)
-        elif scheduler == "naive":
-            policy = NaiveScheduling()
-        else:
-            raise ReproError("unknown scheduler %r" % (scheduler,))
+    # -- lifecycle -----------------------------------------------------
 
-        self.pa_engine = PaTreeEngine(
-            self.env.os,
-            self.env.driver,
-            self.tree,
-            policy,
-            source=ClosedLoopSource([], window=window),
-            buffer=buffer,
-            persistence=persistence,
-        )
+    def _build(self, config):
+        raise NotImplementedError
 
-    # ------------------------------------------------------------------
-    # data plane
-    # ------------------------------------------------------------------
+    def close(self):
+        """Mark the session closed; further data-plane calls raise.
 
-    def bulk_load(self, items, fill_factor=0.7):
-        """Offline bottom-up build from sorted unique (key, bytes) pairs."""
-        self.tree.bulk_load(items, fill_factor)
+        Idempotent.  Weak-persistence sessions flush their dirty tail
+        first so the simulated media holds every acknowledged update.
+        """
+        if self.closed:
+            return
+        if self.config.persistence == PERSISTENCE_WEAK:
+            self.sync()
+        self.closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def _check_open(self):
+        if self.closed:
+            raise ReproError("session is closed")
+
+    # -- data plane (shared verbs) -------------------------------------
 
     def execute(self, operations):
         """Run a batch of operations to completion; returns them."""
-        operations = list(operations)
-        engine = self.pa_engine
-        engine.source = ClosedLoopSource(operations, window=self.window)
-        engine._shutdown = False
-        engine.run_to_completion()
-        return operations
+        raise NotImplementedError
 
     def search(self, key):
         """Point lookup; returns the payload bytes or None."""
@@ -151,11 +204,6 @@ class PATreeSession:
         (op,) = self.execute([insert_op(key, payload)])
         return op.result
 
-    def update(self, key, payload):
-        """Overwrite an existing key; returns True when found."""
-        (op,) = self.execute([update_op(key, payload)])
-        return op.result
-
     def delete(self, key):
         """Remove a key; returns True when it was present."""
         (op,) = self.execute([delete_op(key)])
@@ -166,6 +214,89 @@ class PATreeSession:
         (op,) = self.execute([sync_op()])
         return op.result
 
+    # -- dict-style sugar ----------------------------------------------
+
+    def _get(self, key):
+        return self.search(key)
+
+    def _put(self, key, payload):
+        self.insert(key, payload)
+
+    def __getitem__(self, key):
+        value = self._get(key)
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key, payload):
+        self._put(key, payload)
+
+    def __contains__(self, key):
+        return self._get(key) is not None
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self):
+        """Cumulative statistics snapshot (a fresh dict every call).
+
+        Counters accumulate over the whole session, not per batch:
+        callers wanting a per-batch window diff two snapshots.
+        Mutating a returned dict never affects later calls.
+        """
+        raise NotImplementedError
+
+
+class PATreeSession(BaseSession):
+    """Blocking convenience wrapper around a PA-Tree on one device.
+
+    Accepts a :class:`SessionConfig` or the historical keyword
+    arguments (``seed``, ``payload_size``, ``persistence``,
+    ``buffer_pages``, ``scheduler``, ``window``, ``device_profile``,
+    ``os_profile``); keywords override config fields.
+    """
+
+    default_config = SessionConfig()
+
+    def _build(self, config):
+        self.env = SimEnvironment(
+            config.seed, config.device_profile, config.os_profile
+        )
+        self.tree = PaTree.create(
+            self.env.device, payload_size=config.payload_size
+        )
+        self.pa_engine = PaTreeEngine(
+            self.env.os,
+            self.env.driver,
+            self.tree,
+            make_scheduler(config.scheduler, self.env.device_profile),
+            source=ClosedLoopSource([], window=config.window),
+            buffer=make_buffer(config.persistence, config.buffer_pages),
+            persistence=config.persistence,
+        )
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items, fill_factor=0.7):
+        """Offline bottom-up build from sorted unique (key, bytes) pairs."""
+        self._check_open()
+        self.tree.bulk_load(items, fill_factor)
+
+    def execute(self, operations):
+        """Run a batch of operations to completion; returns them."""
+        self._check_open()
+        operations = list(operations)
+        engine = self.pa_engine
+        engine.reset_source(ClosedLoopSource(operations, window=self.window))
+        engine.run_to_completion()
+        return operations
+
+    def update(self, key, payload):
+        """Overwrite an existing key; returns True when found."""
+        (op,) = self.execute([update_op(key, payload)])
+        return op.result
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -174,7 +305,11 @@ class PATreeSession:
         return self.tree.meta.key_count
 
     def stats(self):
-        """Engine + device statistics for the session so far."""
+        """Engine + device statistics for the session so far.
+
+        Fresh dict per call; counters are cumulative (see
+        :meth:`BaseSession.stats`).
+        """
         stats = self.pa_engine.stats()
         device = self.env.device
         stats["device_reads"] = device.reads_completed.value
@@ -187,7 +322,7 @@ class PATreeSession:
         return self.tree.validate()
 
 
-class AsyncLsmSession:
+class AsyncLsmSession(BaseSession):
     """Blocking convenience wrapper around the PA-LSM extension.
 
     The same facade shape as :class:`PATreeSession`, over the
@@ -197,47 +332,35 @@ class AsyncLsmSession:
     single polled working thread.
     """
 
-    def __init__(
-        self,
-        seed=0,
-        persistence=PERSISTENCE_STRONG,
-        scheduler="naive",
-        window=64,
-        memtable_entries=1_000,
-        device_profile=None,
-        os_profile=None,
-    ):
+    default_config = SessionConfig(scheduler="naive", buffer_pages=0)
+
+    def _build(self, config):
         from repro.palsm import AsyncLsmStore, PolledLsmWorker
 
-        self.env = SimEnvironment(seed, device_profile, os_profile)
-        self.window = window
+        self.env = SimEnvironment(
+            config.seed, config.device_profile, config.os_profile
+        )
         self.store = AsyncLsmStore(
             self.env.device,
-            persistence=persistence,
-            memtable_entries=memtable_entries,
+            persistence=config.persistence,
+            memtable_entries=config.memtable_entries,
         )
-        if scheduler == "workload_aware":
-            policy = WorkloadAwareScheduling(
-                cached_probe_model(self.env.device_profile)
-            )
-        elif scheduler == "naive":
-            policy = NaiveScheduling()
-        else:
-            raise ReproError("unknown scheduler %r" % (scheduler,))
         self.worker = PolledLsmWorker(
             self.env.os,
             self.env.driver,
             self.store,
-            policy,
-            ClosedLoopSource([], window=window),
+            make_scheduler(config.scheduler, self.env.device_profile),
+            ClosedLoopSource([], window=config.window),
         )
 
     def bulk_load(self, items):
         """Offline build of level-1 runs from sorted unique items."""
+        self._check_open()
         self.store.bulk_load(sorted(items))
         self.store.resize_block_cache(max(self.store.data_pages() // 10, 64))
 
     def execute(self, operations):
+        self._check_open()
         return self.worker.run_operations(list(operations), window=self.window)
 
     def put(self, key, payload):
@@ -248,19 +371,78 @@ class AsyncLsmSession:
         (op,) = self.execute([search_op(key)])
         return op.result
 
-    def delete(self, key):
-        (op,) = self.execute([delete_op(key)])
-        return op.result
-
-    def range_search(self, low, high, limit=0):
-        (op,) = self.execute([range_op(low, high, limit=limit)])
-        return op.result
-
-    def sync(self):
-        (op,) = self.execute([sync_op()])
-        return op.result
+    # dict sugar routes through the LSM verbs
+    _get = get
+    _put = put
 
     def stats(self):
+        """Worker statistics; fresh dict per call, cumulative counters."""
         stats = self.worker.stats()
         stats["virtual_time_us"] = self.env.now_usec
         return stats
+
+
+class ShardedSession(BaseSession):
+    """Blocking facade over a sharded multi-device PA-Tree fleet.
+
+    ``config.shards`` independent (device, driver, tree, polled
+    worker) stacks run on one simulated machine; a router splits each
+    batch by key (``config.partitioning``: ``"hash"`` or ``"range"``),
+    fans out the closed-loop window, merges cross-shard range scans in
+    key order and broadcasts ``sync``.  See ``repro.shard`` for the
+    underlying router.
+    """
+
+    default_config = SessionConfig(scheduler="naive", buffer_pages=0)
+
+    def _build(self, config):
+        from repro.shard import ShardedPaTree
+
+        self.engine = Engine(seed=config.seed)
+        self.os = SimOS(self.engine, config.os_profile or paper_testbed_profile())
+        device_profile = config.device_profile or i3_nvme_profile()
+        self.sharded = ShardedPaTree(
+            self.os,
+            config.shards,
+            partitioning=config.partitioning,
+            payload_size=config.payload_size,
+            policy_factory=lambda: make_scheduler(
+                config.scheduler, device_profile
+            ),
+            persistence=config.persistence,
+            buffer_pages_per_shard=config.buffer_pages,
+            device_profile=device_profile,
+        )
+
+    @property
+    def now_usec(self):
+        return self.engine.clock.now_usec
+
+    def bulk_load(self, items, fill_factor=0.7):
+        """Offline build across all shards from sorted unique pairs."""
+        self._check_open()
+        self.sharded.bulk_load(items, fill_factor)
+
+    def execute(self, operations):
+        self._check_open()
+        return self.sharded.run_operations(
+            list(operations), window=self.window
+        )
+
+    def update(self, key, payload):
+        """Overwrite an existing key; returns True when found."""
+        (op,) = self.execute([update_op(key, payload)])
+        return op.result
+
+    def __len__(self):
+        return self.sharded.key_count
+
+    def stats(self):
+        """Aggregate + per-shard statistics (fresh dict, cumulative)."""
+        stats = self.sharded.stats()
+        stats["virtual_time_us"] = self.now_usec
+        return stats
+
+    def validate(self):
+        """Validate every shard tree; returns aggregate statistics."""
+        return self.sharded.validate()

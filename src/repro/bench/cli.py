@@ -26,6 +26,7 @@ from repro.bench.experiments import (
     fig13_yielding,
     fig14_buffering,
     fig15_end_to_end,
+    shards_scaling,
     table1_table2_fig9,
 )
 
@@ -72,6 +73,16 @@ _EXHIBITS = {
     "fig15": (
         "Fig 15: end-to-end comparison",
         lambda args, out: fig15_end_to_end.report(out=out),
+    ),
+    "shards": (
+        "Scale-out: sharded multi-device PA-Tree",
+        lambda args, out: shards_scaling.report(
+            shards_scaling.run_experiment(
+                base_ops=args.ops or 1_500, seed=args.seed
+            ),
+            out=out,
+            json_dir=args.out or "benchmarks/results",
+        ),
     ),
 }
 

@@ -17,7 +17,8 @@ from repro.baselines.lcb_tree import LcbTreeAccessor
 from repro.baselines.lsm import LsmAccessor, LsmConfig, LsmStore
 from repro.baselines.runner import BaselineRunner
 from repro.bench.report import print_table
-from repro.bench.runner import WorkloadSpec, _interleave_syncs, _Machine, _make_buffer
+from repro.bench.runner import WorkloadSpec, _interleave_syncs, _Machine
+from repro.buffer import make_buffer
 from repro.bench.runner import run_pa
 from repro.errors import BenchmarkError
 from repro.sim.clock import NS_PER_SEC
@@ -57,7 +58,7 @@ def run_tree_baseline(spec, accessor_kind, persistence, n_threads, seed=1):
             machine.tree,
             io_service,
             latches,
-            buffer=_make_buffer(persistence, buffer_pages),
+            buffer=make_buffer(persistence, buffer_pages),
             persistence=persistence,
         )
     elif accessor_kind == "lcb":
@@ -65,7 +66,7 @@ def run_tree_baseline(spec, accessor_kind, persistence, n_threads, seed=1):
             machine.tree,
             io_service,
             latches,
-            buffer=_make_buffer("strong", buffer_pages),
+            buffer=make_buffer("strong", buffer_pages),
             persistence=persistence,
         )
     else:

@@ -16,7 +16,7 @@ from repro.baselines.io_service import DedicatedIoService, SharedIoService
 from repro.baselines.latching import BlockingLatchTable
 from repro.baselines.runner import BaselineRunner
 from repro.baselines.sync_tree import SyncTreeAccessor
-from repro.buffer import ReadOnlyBuffer, ReadWriteBuffer
+from repro.buffer import make_buffer
 from repro.core.engine import PaTreeEngine
 from repro.core.ops import sync_op
 from repro.core.source import ClosedLoopSource, OpenLoopSource
@@ -24,9 +24,7 @@ from repro.core.tree import PaTree
 from repro.errors import BenchmarkError
 from repro.nvme.device import NvmeDevice, i3_nvme_profile
 from repro.nvme.driver import NvmeDriver
-from repro.sched.naive import NaiveScheduling
-from repro.sched.probe_model import cached_probe_model
-from repro.sched.workload_aware import WorkloadAwareScheduling
+from repro.sched import SCHEDULERS, make_scheduler
 from repro.sim.clock import NS_PER_SEC
 from repro.sim.engine import Engine
 from repro.sim.metrics import CPU_CATEGORIES
@@ -114,14 +112,6 @@ class _Machine:
         self.tree = PaTree.create(self.device, payload_size=payload_size)
 
 
-def _make_buffer(persistence, buffer_pages):
-    if buffer_pages <= 0:
-        return None
-    if persistence == "weak":
-        return ReadWriteBuffer(buffer_pages)
-    return ReadOnlyBuffer(buffer_pages)
-
-
 def _finish_stats(result, machine, completed, latencies, group, end_ns=None):
     # Throughput windows end at the last user-operation completion, so
     # a trailing group-commit flush does not distort short runs.
@@ -190,13 +180,9 @@ def run_pa(
         session = TraceSession(machine.engine)
 
     if policy is None:
-        if scheduler == "workload_aware":
-            model = cached_probe_model(machine.device_profile)
-            policy = WorkloadAwareScheduling(model)
-        elif scheduler == "naive":
-            policy = NaiveScheduling()
-        else:
+        if scheduler not in SCHEDULERS:
             raise BenchmarkError("unknown scheduler %r" % (scheduler,))
+        policy = make_scheduler(scheduler, machine.device_profile)
 
     operations = workload.operations()
     if spec.sync_every:
@@ -208,7 +194,7 @@ def run_pa(
     else:
         source = ClosedLoopSource(operations, window=window)
 
-    buffer = _make_buffer(persistence, buffer_pages)
+    buffer = make_buffer(persistence, buffer_pages)
     pa = PaTreeEngine(
         machine.simos,
         machine.driver,
@@ -227,8 +213,7 @@ def run_pa(
     if persistence == "weak":
         # Flush the dirty tail so media-level validation sees every
         # update (the measured run above is untouched).
-        pa.source = ClosedLoopSource([sync_op()], window=1)
-        pa._shutdown = False
+        pa.reset_source(ClosedLoopSource([sync_op()], window=1))
         pa.run_to_completion()
     if session is not None:
         session.finish()
@@ -288,7 +273,7 @@ def run_sync_baseline(
         machine.tree,
         io_service,
         BlockingLatchTable(),
-        buffer=_make_buffer(persistence, buffer_pages),
+        buffer=make_buffer(persistence, buffer_pages),
         persistence=persistence,
     )
     runner = BaselineRunner(

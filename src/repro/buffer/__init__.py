@@ -5,4 +5,25 @@ from repro.buffer.lru import LruCache
 from repro.buffer.read_only import ReadOnlyBuffer
 from repro.buffer.read_write import ReadWriteBuffer
 
-__all__ = ["LruCache", "ReadOnlyBuffer", "ReadWriteBuffer"]
+
+def make_buffer(persistence, buffer_pages):
+    """Build the buffer matching a persistence mode, or None.
+
+    The single factory behind the session facades, the shard router
+    and the bench harness: ``"weak"`` persistence gets a write-back
+    :class:`ReadWriteBuffer` (and requires ``buffer_pages > 0``),
+    ``"strong"`` gets a :class:`ReadOnlyBuffer` when ``buffer_pages``
+    is positive and no buffer otherwise.
+    """
+    if persistence == "weak":
+        if buffer_pages <= 0:
+            from repro.errors import SchedulerError
+
+            raise SchedulerError("weak persistence requires a buffer")
+        return ReadWriteBuffer(buffer_pages)
+    if buffer_pages > 0:
+        return ReadOnlyBuffer(buffer_pages)
+    return None
+
+
+__all__ = ["LruCache", "ReadOnlyBuffer", "ReadWriteBuffer", "make_buffer"]

@@ -159,6 +159,21 @@ class PaTreeEngine:
             )
         self.latches.assert_quiescent()
 
+    def reset_source(self, source=None):
+        """Install a fresh operation source and re-arm the engine.
+
+        The working thread exits once its source drains; facades that
+        feed successive batches through one engine call this between
+        batches instead of touching engine internals.  ``source=None``
+        keeps the current source (routers whose per-shard pull queues
+        are long-lived only need the re-arm).
+        """
+        if self.worker_thread is not None and not self.worker_thread.done:
+            raise SchedulerError("cannot reset the source of a running engine")
+        if source is not None:
+            self.source = source
+        self._shutdown = False
+
     # ------------------------------------------------------------------
     # the working thread main loop
     # ------------------------------------------------------------------

@@ -239,7 +239,7 @@ class PartitionedPaTree:
         self._refill()
         workers = []
         for engine in self.engines:
-            engine._shutdown = False
+            engine.reset_source()
             workers.append(engine.start())
         engine0 = self.engines[0].engine
         engine0.run(until=lambda: all(worker.done for worker in workers))

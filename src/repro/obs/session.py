@@ -44,7 +44,7 @@ class TraceSession:
         self._io_ids = {}
         self._running_since = {}  # tid -> (start_ns, core_index)
         self._simos = None
-        self._device = None
+        self._devices = []
         self._buffer = None
         self._workers = []
         engine.on_dispatch = self._on_dispatch
@@ -53,16 +53,25 @@ class TraceSession:
     # attachment
     # ------------------------------------------------------------------
 
-    def attach_device(self, device):
-        self._device = device
+    def attach_device(self, device, name=None):
+        """Hook one simulated NVMe device into the recording.
+
+        A session can observe several devices (each shard of a
+        :class:`~repro.shard.ShardedPaTree` owns one); pass ``name``
+        to namespace the sampled series (``<name>_outstanding``).
+        Without a name the legacy single-device series names are kept.
+        """
+        self._devices.append(device)
         device.on_submit = self._on_io_submit
         device.on_complete = self._on_io_complete
         profile = device.profile
+        outstanding_name = (name + "_outstanding") if name else "device_outstanding"
+        util_name = (name + "_channel_util") if name else "channel_util"
         self.sampler.add_probe(
-            "device_outstanding", lambda: device.outstanding.value
+            outstanding_name, lambda: device.outstanding.value
         )
         self.sampler.add_probe(
-            "channel_util",
+            util_name,
             lambda: (profile.channels - device._free_channels)
             / profile.channels,
         )
@@ -73,15 +82,21 @@ class TraceSession:
         simos.on_thread_state = self._on_thread_state
         return self
 
-    def attach_worker(self, worker):
-        """Wire a PA-Tree engine or PA-LSM worker into the session."""
+    def attach_worker(self, worker, name=None):
+        """Wire a PA-Tree engine or PA-LSM worker into the session.
+
+        As with :meth:`attach_device`, ``name`` namespaces the sampled
+        series so several shard workers stay distinguishable in one
+        recording.
+        """
         self._workers.append(worker)
         worker.tracer = self.tracer
         worker.op_observer = self
-        self.sampler.add_probe("ready_ops", worker.policy.ready_count)
-        self.sampler.add_probe("inflight_ops", lambda: worker.inflight)
+        prefix = (name + "_") if name else ""
+        self.sampler.add_probe(prefix + "ready_ops", worker.policy.ready_count)
+        self.sampler.add_probe(prefix + "inflight_ops", lambda: worker.inflight)
         self.sampler.add_probe(
-            "outstanding_ios",
+            prefix + "outstanding_ios",
             lambda: worker.io_history.outstanding_count,
         )
         return self
@@ -116,9 +131,9 @@ class TraceSession:
         self.sampler.stop()
         if self.engine.on_dispatch == self._on_dispatch:
             self.engine.on_dispatch = None
-        if self._device is not None:
-            self._device.on_submit = None
-            self._device.on_complete = None
+        for device in self._devices:
+            device.on_submit = None
+            device.on_complete = None
         if self._simos is not None:
             self._simos.on_thread_state = None
         return self

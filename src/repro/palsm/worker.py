@@ -116,12 +116,24 @@ class PolledLsmWorker:
                 "PA-LSM worker did not finish (inflight=%d)" % self.inflight
             )
 
+    def reset_source(self, source=None):
+        """Install a fresh operation source and re-arm the worker.
+
+        Mirrors :meth:`repro.core.engine.PaTreeEngine.reset_source`:
+        the public way for facades to feed successive batches through
+        one worker.
+        """
+        if self.worker_thread is not None and not self.worker_thread.done:
+            raise SchedulerError("cannot reset the source of a running worker")
+        if source is not None:
+            self.source = source
+        self._shutdown = False
+
     def run_operations(self, operations, window=64):
         from repro.core.source import ClosedLoopSource
 
         operations = list(operations)
-        self.source = ClosedLoopSource(operations, window=window)
-        self._shutdown = False
+        self.reset_source(ClosedLoopSource(operations, window=window))
         self.run_to_completion()
         return operations
 

@@ -14,7 +14,34 @@ from repro.sched.probe_model import (
 )
 from repro.sched.workload_aware import WorkloadAwareScheduling
 
+SCHEDULERS = ("workload_aware", "naive")
+
+
+def make_scheduler(name, device_profile=None):
+    """Build a scheduling policy instance from its configuration name.
+
+    The single factory behind every session facade, the shard router
+    and the bench harness — ``"workload_aware"`` (Algorithm 2; trains
+    or reuses the cached probe model for ``device_profile``) or
+    ``"naive"`` (Algorithm 1).  Each call returns a fresh policy: a
+    policy binds to exactly one engine.
+    """
+    if name == "workload_aware":
+        if device_profile is None:
+            from repro.nvme.device import i3_nvme_profile
+
+            device_profile = i3_nvme_profile()
+        return WorkloadAwareScheduling(cached_probe_model(device_profile))
+    if name == "naive":
+        return NaiveScheduling()
+    from repro.errors import SchedulerError
+
+    raise SchedulerError("unknown scheduler %r" % (name,))
+
+
 __all__ = [
+    "SCHEDULERS",
+    "make_scheduler",
     "SchedulingPolicy",
     "NaiveScheduling",
     "WorkloadAwareScheduling",

@@ -1,0 +1,21 @@
+"""Sharded multi-device PA-Tree (scale-out extension).
+
+The paper saturates one NVMe SSD with one polled working thread; this
+package is the scale-out seam: N independent ``(NvmeDevice,
+NvmeDriver, PaTreeEngine)`` shards on one simulated machine, each
+driven by its own polled worker, behind a single routing front door.
+"""
+
+from repro.shard.sharded import (
+    HASH_PARTITIONING,
+    RANGE_PARTITIONING,
+    ShardedPaTree,
+    shard_mix64,
+)
+
+__all__ = [
+    "ShardedPaTree",
+    "HASH_PARTITIONING",
+    "RANGE_PARTITIONING",
+    "shard_mix64",
+]

@@ -1,0 +1,437 @@
+"""Sharded multi-device PA-Tree: N polled workers over N devices.
+
+The paper shows one polled working thread saturating one NVMe SSD.
+This module scales the paradigm *out*: the key space is hash- or
+range-partitioned across N shards, each shard a fully independent
+``(NvmeDevice, NvmeDriver, PaTree, PaTreeEngine)`` stack with its own
+queue pair, latch table, buffer and polled working thread — all on the
+shared :class:`~repro.simos.scheduler.SimOS`, so the whole fleet runs
+inside one deterministic simulation.  Because shards share *nothing*
+(not even a device), the paradigm's no-inter-thread-synchronization
+property is preserved and aggregate throughput scales with shard count
+until the machine runs out of cores.
+
+A zero-shared-state router splits incoming operation batches per
+shard, fans out a closed-loop admission window, scatters cross-shard
+range scans (and broadcast ``sync``), gathers their partial results in
+key order, and aggregates per-shard engine/device statistics.  The
+observability hooks from ``repro.obs`` attach per shard, so one
+:class:`~repro.obs.TraceSession` records the whole fleet.
+
+This differs from :class:`repro.core.partition.PartitionedPaTree`
+(several workers sharing one device's LBA space): here every shard
+owns a whole simulated device, which is what multi-backend scaling,
+replication and tiering PRs will build on.
+"""
+
+import bisect
+import heapq
+from collections import deque
+
+from repro.buffer import make_buffer
+from repro.core.engine import PERSISTENCE_STRONG, PaTreeEngine
+from repro.core.ops import RANGE, SYNC, range_op, sync_op
+from repro.core.source import OperationSource
+from repro.core.tree import PaTree
+from repro.errors import SchedulerError
+from repro.nvme.device import NvmeDevice, i3_nvme_profile
+from repro.nvme.driver import NvmeDriver
+from repro.sched import NaiveScheduling
+from repro.sim.metrics import LatencyRecorder
+
+HASH_PARTITIONING = "hash"
+RANGE_PARTITIONING = "range"
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_mix64(key):
+    """SplitMix64 finalizer: spreads strided keys uniformly over 64 bits.
+
+    Workload key populations are often strided (the YCSB preload keys
+    sit on a 2^20 stride), so ``key % n`` would put every key on one
+    shard; a full-avalanche mix makes hash placement balanced and —
+    because it is pure arithmetic — deterministic across runs.
+    """
+    z = (key + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+class _ShardSource(OperationSource):
+    """Pull queue one shard's worker polls; the router fills it."""
+
+    def __init__(self, router):
+        self._router = router
+        self.pending = deque()
+        self.inflight = 0
+
+    def poll(self, now_ns):
+        batch = []
+        while self.pending:
+            batch.append(self.pending.popleft())
+            self.inflight += 1
+        return batch
+
+    def on_op_complete(self, op):
+        self.inflight -= 1
+        self._router._on_shard_complete(op)
+
+    def exhausted(self):
+        return self._router._drained and not self.pending and self.inflight == 0
+
+
+class _GatherState:
+    """Tracks a scattered operation until every part returns."""
+
+    __slots__ = ("parent", "parts", "remaining")
+
+    def __init__(self, parent, parts):
+        self.parent = parent
+        self.parts = parts
+        self.remaining = len(parts)
+
+
+class ShardedPaTree:
+    """N independent single-device PA-Trees behind one router.
+
+    Parameters
+    ----------
+    simos:
+        The shared simulated OS every shard's worker thread runs on.
+    n_shards:
+        Number of shards; each gets its own simulated NVMe device.
+    partitioning:
+        ``"hash"`` (default; uniform placement, range scans broadcast)
+        or ``"range"`` (contiguous key slices, range scans touch only
+        the covered shards).
+    policy_factory:
+        Zero-argument callable building one scheduling policy per
+        shard (a policy binds to exactly one engine).
+    device_profile:
+        :class:`~repro.nvme.device.DeviceProfile` shared by all shard
+        devices (profiles are immutable calibration constants).  Each
+        device still draws service times from its own named RNG
+        stream, so shards are stochastically independent.
+    """
+
+    def __init__(
+        self,
+        simos,
+        n_shards,
+        partitioning=HASH_PARTITIONING,
+        payload_size=8,
+        policy_factory=None,
+        persistence=PERSISTENCE_STRONG,
+        buffer_pages_per_shard=0,
+        device_profile=None,
+        qpair_size=4096,
+    ):
+        if n_shards < 1:
+            raise SchedulerError("need at least one shard")
+        if partitioning not in (HASH_PARTITIONING, RANGE_PARTITIONING):
+            raise SchedulerError("unknown partitioning %r" % (partitioning,))
+        self.simos = simos
+        self.engine = simos.engine
+        self.n_shards = n_shards
+        self.partitioning = partitioning
+        self.persistence = persistence
+        if policy_factory is None:
+            policy_factory = NaiveScheduling
+        self.device_profile = device_profile or i3_nvme_profile()
+        # default range split: equal slices of the 64-bit key space,
+        # rebalanced to population quantiles at bulk_load time
+        self._split_keys = [
+            ((1 << 64) // n_shards) * i for i in range(1, n_shards)
+        ]
+
+        self.devices = []
+        self.drivers = []
+        self.trees = []
+        self.engines = []
+        self._sources = []
+        for index in range(n_shards):
+            device = NvmeDevice(
+                self.engine,
+                self.device_profile,
+                rng_name="nvme-shard-%d" % index,
+            )
+            driver = NvmeDriver(device)
+            tree = PaTree.create(device, payload_size=payload_size)
+            source = _ShardSource(self)
+            worker = PaTreeEngine(
+                simos,
+                driver,
+                tree,
+                policy_factory(),
+                source=source,
+                buffer=make_buffer(persistence, buffer_pages_per_shard),
+                persistence=persistence,
+                qpair=driver.alloc_qpair(sq_size=qpair_size, cq_size=qpair_size),
+                name="pa-shard-%d" % index,
+            )
+            self.devices.append(device)
+            self.drivers.append(driver)
+            self.trees.append(tree)
+            self.engines.append(worker)
+            self._sources.append(source)
+
+        # router state
+        self._drained = True
+        self._global_pending = deque()
+        self._window = 0
+        self._inflight = 0
+        self._gathers = {}
+        self._dispatch_ns = {}
+
+        # router-level measurement (user-visible operations, counted
+        # once each — scattered parts are invisible here)
+        self.latencies = LatencyRecorder()
+        self.user_completed = 0
+        self.last_user_done_ns = 0
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key):
+        """The shard index that owns ``key``."""
+        if self.partitioning == RANGE_PARTITIONING:
+            return bisect.bisect_right(self._split_keys, key)
+        return shard_mix64(key) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items, fill_factor=0.7):
+        """Offline build from sorted unique (key, payload) pairs.
+
+        Range mode re-derives the split keys from the population's
+        quantiles so preloaded shards are balanced; hash mode scatters
+        by the mix (each shard's slice of a sorted stream stays
+        sorted, so per-shard bulk loads remain bottom-up builds).
+        """
+        items = list(items)
+        if self.partitioning == RANGE_PARTITIONING:
+            if items and self.n_shards > 1:
+                step = len(items) // self.n_shards
+                self._split_keys = [
+                    items[step * i][0] for i in range(1, self.n_shards)
+                ]
+            start = 0
+            for index in range(self.n_shards):
+                end = (
+                    bisect.bisect_left(items, (self._split_keys[index], b""))
+                    if index < self.n_shards - 1
+                    else len(items)
+                )
+                self.trees[index].bulk_load(items[start:end], fill_factor)
+                start = end
+            return
+        per_shard = [[] for _ in range(self.n_shards)]
+        for item in items:
+            per_shard[self.shard_for(item[0])].append(item)
+        for tree, shard_items in zip(self.trees, per_shard):
+            tree.bulk_load(shard_items, fill_factor)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, op):
+        if op.kind == SYNC:
+            self._scatter(
+                op,
+                [sync_op() for _ in range(self.n_shards)],
+                list(range(self.n_shards)),
+            )
+            return
+        if op.kind == RANGE:
+            self._dispatch_range(op)
+            return
+        self._sources[self.shard_for(op.key)].pending.append(op)
+
+    def _dispatch_range(self, op):
+        if self.partitioning == HASH_PARTITIONING:
+            # every shard may hold keys from [low, high]: broadcast,
+            # each shard returns its (sorted) matches, merge in order
+            if self.n_shards == 1:
+                self._sources[0].pending.append(op)
+                return
+            parts = [
+                range_op(op.key, op.high_key, limit=op.limit)
+                for _ in range(self.n_shards)
+            ]
+            self._scatter(op, parts, list(range(self.n_shards)))
+            return
+        low_shard = self.shard_for(op.key)
+        high_shard = self.shard_for(op.high_key)
+        if low_shard == high_shard:
+            self._sources[low_shard].pending.append(op)
+            return
+        parts = []
+        targets = []
+        for index in range(low_shard, high_shard + 1):
+            low = op.key if index == low_shard else self._split_keys[index - 1]
+            high = (
+                op.high_key
+                if index == high_shard
+                else self._split_keys[index] - 1
+            )
+            parts.append(range_op(low, high, limit=op.limit))
+            targets.append(index)
+        self._scatter(op, parts, targets)
+
+    def _scatter(self, parent, parts, targets):
+        state = _GatherState(parent, parts)
+        for part in parts:
+            self._gathers[id(part)] = state
+        for part, target in zip(parts, targets):
+            self._sources[target].pending.append(part)
+
+    def _on_shard_complete(self, op):
+        state = self._gathers.pop(id(op), None)
+        if state is not None:
+            state.remaining -= 1
+            if state.remaining:
+                return
+            parent = state.parent
+            if parent.kind == RANGE:
+                # per-shard results are sorted; a k-way merge restores
+                # global key order (range partitioning scatters in
+                # shard order, so its parts are already concatenable,
+                # but the merge is correct and cheap for both modes)
+                merged = list(
+                    heapq.merge(*(part.result for part in state.parts))
+                )
+                if parent.limit:
+                    merged = merged[: parent.limit]
+                parent.result = merged
+            else:  # broadcast sync: total pages flushed
+                parent.result = sum(part.result or 0 for part in state.parts)
+            if parent.on_complete is not None:
+                parent.on_complete(parent)
+            op = parent
+        self._inflight -= 1
+        now = self.engine.now
+        if op.done_ns is None:
+            op.done_ns = now
+        started = self._dispatch_ns.pop(id(op), None)
+        if started is not None:
+            self.latencies.record(op.done_ns - started)
+        if op.kind != SYNC:
+            self.user_completed += 1
+            self.last_user_done_ns = op.done_ns
+        self._refill()
+
+    def _refill(self):
+        while self._inflight < self._window and self._global_pending:
+            next_op = self._global_pending.popleft()
+            now = self.engine.now
+            next_op.admit_ns = now
+            self._dispatch_ns[id(next_op)] = now
+            self._inflight += 1
+            self._dispatch(next_op)
+        if not self._global_pending and self._inflight == 0:
+            self._drained = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run_operations(self, operations, window=64):
+        """Run a batch across all shards to completion.
+
+        ``window`` is the *aggregate* closed-loop admission window —
+        the number of concurrent callers the whole fleet models.  The
+        router fans admitted operations out to the owning shards; each
+        shard's worker interleaves whatever lands on it.
+        """
+        operations = list(operations)
+        self._global_pending = deque(operations)
+        self._window = window
+        self._drained = False
+        self._inflight = 0
+        self._refill()
+        workers = []
+        for worker in self.engines:
+            worker.reset_source()
+            workers.append(worker.start())
+        self.engine.run(until=lambda: all(thread.done for thread in workers))
+        if not all(thread.done for thread in workers):
+            raise SchedulerError("sharded run did not finish")
+        for worker in self.engines:
+            worker.latches.assert_quiescent()
+        return operations
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_trace(self, session):
+        """Wire one :class:`~repro.obs.TraceSession` across every shard.
+
+        Each shard's device and worker attach under a ``shard<i>``
+        name so sampled series and spans stay distinguishable in one
+        recording.
+        """
+        session.attach_simos(self.simos)
+        for index in range(self.n_shards):
+            name = "shard%d" % index
+            session.attach_device(self.devices[index], name=name)
+            session.attach_worker(self.engines[index], name=name)
+        return session
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def key_count(self):
+        return sum(tree.meta.key_count for tree in self.trees)
+
+    def validate(self):
+        """Validate every shard tree; returns aggregate statistics."""
+        stats = {"keys": 0, "nodes": 0}
+        for tree in self.trees:
+            part = tree.validate()
+            stats["keys"] += part["keys"]
+            stats["nodes"] += part["nodes"]
+        return stats
+
+    def iterate_items_raw(self):
+        """All (key, payload) pairs in global key order (zero time)."""
+        return heapq.merge(*(tree.iterate_items_raw() for tree in self.trees))
+
+    def stats(self):
+        """Aggregate + per-shard statistics snapshot.
+
+        Returns a fresh dict on every call.  All counters are
+        cumulative over the router's lifetime; ``per_shard[i]`` holds
+        shard *i*'s own engine/device counters and the top-level
+        totals are their sums, so ``sum(s["completed"] for s in
+        per_shard) == completed`` always holds.
+        """
+        per_shard = []
+        for index in range(self.n_shards):
+            shard_stats = self.engines[index].stats()
+            device = self.devices[index]
+            shard_stats["shard"] = index
+            shard_stats["device_reads"] = device.reads_completed.value
+            shard_stats["device_writes"] = device.writes_completed.value
+            per_shard.append(shard_stats)
+        return {
+            "shards": self.n_shards,
+            "partitioning": self.partitioning,
+            "completed": sum(s["completed"] for s in per_shard),
+            "user_completed": self.user_completed,
+            "probes": sum(s["probes"] for s in per_shard),
+            "latch_waits": sum(s["latch_waits"] for s in per_shard),
+            "device_reads": sum(s["device_reads"] for s in per_shard),
+            "device_writes": sum(s["device_writes"] for s in per_shard),
+            "mean_latency_us": self.latencies.mean_usec(),
+            "p99_latency_us": self.latencies.p99_usec(),
+            "per_shard": per_shard,
+        }

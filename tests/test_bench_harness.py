@@ -1,13 +1,12 @@
 """Tests for the benchmark harness: reporting, runner, CLI."""
 
-import io
 
 import pytest
 
 from repro.bench.cli import main as cli_main
 from repro.bench.report import format_value, print_series, print_table, shape_ratio
 from repro.bench.runner import WorkloadSpec, _interleave_syncs, run_pa, run_sync_baseline
-from repro.core.ops import SYNC, insert_op, search_op, update_op
+from repro.core.ops import SYNC, search_op, update_op
 from repro.errors import BenchmarkError
 from repro.nvme.device import fast_test_profile
 from repro.sim.rng import RngRegistry

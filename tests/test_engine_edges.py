@@ -2,7 +2,6 @@
 backpressure, write serialization per LBA, sources and policies wired
 through the full stack."""
 
-import pytest
 
 from repro.buffer import ReadWriteBuffer
 from repro.core.engine import PaTreeEngine

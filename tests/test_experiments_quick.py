@@ -5,12 +5,9 @@ benchmark code paths (sweeps, memoization, reporting, shape helpers)
 are exercised by ``pytest tests/`` without the full benchmark cost.
 """
 
-import io
 
-import pytest
 
 from repro.bench.experiments import fig3_device, fig7_fig8
-from repro.bench.report import print_series, print_table
 from repro.bench.runner import WorkloadSpec, run_pa
 
 

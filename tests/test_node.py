@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.node import INNER, LEAF, Node, TreeConfig
+from repro.core.node import Node, TreeConfig
 from repro.errors import CorruptPageError, TreeError
 
 

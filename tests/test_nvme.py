@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeviceError, PageBoundsError, QueueFullError
-from repro.nvme.command import NvmeCommand, OP_READ, OP_WRITE
+from repro.nvme.command import NvmeCommand, OP_READ
 from repro.nvme.device import NvmeDevice, fast_test_profile
 from repro.nvme.driver import NvmeDriver
 from repro.nvme.latency import ServiceTimeModel

@@ -18,7 +18,6 @@ from repro.obs import (
     Tracer,
     chrome_trace_events,
     latency_histogram,
-    to_chrome_trace,
     trace_summary,
     write_chrome_trace,
     write_jsonl,
@@ -237,8 +236,10 @@ def test_hooks_detached_after_finish():
     result = run_pa(_small_spec(), seed=5, trace=True)
     session = result["trace_session"]
     assert session.engine.on_dispatch is None
-    assert session._device.on_submit is None
-    assert session._device.on_complete is None
+    assert session._devices
+    for device in session._devices:
+        assert device.on_submit is None
+        assert device.on_complete is None
     assert session._simos.on_thread_state is None
 
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.ops import delete_op, insert_op, range_op, search_op, sync_op
 from repro.core.source import ClosedLoopSource

@@ -7,7 +7,6 @@ happens afterwards.  We "crash" by discarding every volatile structure
 device alone.
 """
 
-import pytest
 
 from repro.buffer import ReadOnlyBuffer, ReadWriteBuffer
 from repro.core.engine import PaTreeEngine

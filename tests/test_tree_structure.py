@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.meta import META_PAGE, TreeMeta
+from repro.core.meta import TreeMeta
 from repro.core.tree import PaTree
 from repro.errors import TreeError
 from repro.nvme.device import NvmeDevice, fast_test_profile

@@ -13,7 +13,6 @@ from repro.workloads.ycsb import (
     MIX_READ_ONLY,
     MIX_UPDATE_HEAVY,
     YcsbWorkload,
-    preload_key,
 )
 from repro.workloads.zipf import ZipfSampler, scatter_rank
 

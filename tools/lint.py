@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Dependency-free lint: byte-compile + unused-import check.
+
+The CI image (and the fully-offline dev container) carries no
+third-party linter, so this covers the two classes of rot that
+actually bite a pure-python repo: files that no longer parse, and
+imports left behind by refactors.  ``__init__.py`` files are exempt
+from the unused-import check — re-exporting is their job.
+
+Usage::
+
+    python tools/lint.py [paths...]     # defaults to src tests benchmarks
+"""
+
+import ast
+import compileall
+import os
+import sys
+
+
+def _iter_py_files(paths):
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, _dirnames, filenames in os.walk(path):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _imported_names(tree):
+    """(name, lineno, display) for every binding an import creates."""
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                out.append((name, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                out.append((name, node.lineno, alias.name))
+    return out
+
+
+def _used_names(tree):
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # the chain's root is a Name node, already collected
+            pass
+    # names re-exported via __all__ count as used
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "__all__" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        used.add(element.value)
+    return used
+
+
+def check_unused_imports(path):
+    with open(path, "rb") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    used = _used_names(tree)
+    problems = []
+    for name, lineno, display in _imported_names(tree):
+        if name not in used:
+            problems.append(
+                "%s:%d: '%s' imported but unused" % (path, lineno, display)
+            )
+    return problems
+
+
+def main(argv=None):
+    paths = (argv or sys.argv[1:]) or ["src", "tests", "benchmarks"]
+    ok = all(
+        compileall.compile_dir(p, quiet=1)
+        if os.path.isdir(p)
+        else compileall.compile_file(p, quiet=1)
+        for p in paths
+    )
+    problems = []
+    for path in _iter_py_files(paths):
+        if os.path.basename(path) == "__init__.py":
+            continue
+        problems.extend(check_unused_imports(path))
+    for problem in problems:
+        print(problem)
+    if problems or not ok:
+        return 1
+    print("lint: %s clean" % " ".join(paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
