@@ -22,6 +22,14 @@ Scale out across simulated devices with ``ShardedSession``::
 
     with ShardedSession(SessionConfig(seed=7, shards=4)) as fleet:
         ...
+
+Inject deterministic device faults (and tune the driver's retry)::
+
+    from repro import FaultConfig, PATreeSession, SessionConfig
+
+    config = SessionConfig(seed=7, faults=FaultConfig(read_error_rate=0.01))
+    with PATreeSession(config) as session:
+        ...
 """
 
 from repro.api import (
@@ -44,10 +52,13 @@ from repro.core import (
     sync_op,
     update_op,
 )
-from repro.errors import ReproError
+from repro.errors import IoError, ReproError, RetryExhaustedError
+from repro.faults import FaultConfig
+from repro.nvme.command import IoStatus
+from repro.nvme.driver import RetryPolicy
 from repro.shard import ShardedPaTree
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PATreeSession",
@@ -60,6 +71,11 @@ __all__ = [
     "PaTreeEngine",
     "ShardedPaTree",
     "ReproError",
+    "IoError",
+    "RetryExhaustedError",
+    "IoStatus",
+    "FaultConfig",
+    "RetryPolicy",
     "PERSISTENCE_STRONG",
     "PERSISTENCE_WEAK",
     "search_op",

@@ -51,7 +51,7 @@ from repro.core.source import ClosedLoopSource
 from repro.core.tree import PaTree
 from repro.errors import ReproError
 from repro.nvme.device import NvmeDevice, i3_nvme_profile
-from repro.nvme.driver import NvmeDriver
+from repro.nvme.driver import NvmeDriver, RetryPolicy
 from repro.sched import make_scheduler
 from repro.sim.engine import Engine
 from repro.simos.scheduler import SimOS, paper_testbed_profile
@@ -87,6 +87,17 @@ class SessionConfig:
     shards / partitioning:
         Sharded sessions only: shard count and ``"hash"`` or
         ``"range"`` key placement.
+    faults:
+        Deterministic fault injection: a
+        :class:`~repro.faults.FaultConfig` (or an equivalent dict of
+        its fields), or None (the default) for a fault-free device.
+        Sharded sessions build one injector per shard device, each
+        drawing from its own seeded stream.
+    retry:
+        Driver-level :class:`~repro.nvme.driver.RetryPolicy` (or an
+        equivalent dict of its fields) applied to transient media
+        errors; None (the default) delivers every failure to the
+        engine immediately.
     """
 
     seed: int = 0
@@ -100,21 +111,37 @@ class SessionConfig:
     memtable_entries: int = 1_000
     shards: int = 4
     partitioning: str = "hash"
+    faults: object = None
+    retry: object = None
 
     def merged(self, **overrides):
         """A copy with ``overrides`` applied (unknown names raise)."""
         return replace(self, **overrides)
 
 
+def make_retry(retry):
+    """Normalize a retry spec (None / RetryPolicy / dict of fields)."""
+    if retry is None or isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, dict):
+        return RetryPolicy(**retry)
+    raise ReproError(
+        "retry must be a RetryPolicy, dict or None, not %r" % (retry,)
+    )
+
+
 class SimEnvironment:
     """One simulated machine: event engine, OS, NVMe device, driver."""
 
-    def __init__(self, seed=0, device_profile=None, os_profile=None):
+    def __init__(
+        self, seed=0, device_profile=None, os_profile=None, faults=None,
+        retry=None,
+    ):
         self.engine = Engine(seed=seed)
         self.os = SimOS(self.engine, os_profile or paper_testbed_profile())
         self.device_profile = device_profile or i3_nvme_profile()
-        self.device = NvmeDevice(self.engine, self.device_profile)
-        self.driver = NvmeDriver(self.device)
+        self.device = NvmeDevice(self.engine, self.device_profile, faults=faults)
+        self.driver = NvmeDriver(self.device, retry=make_retry(retry))
 
     @property
     def now_usec(self):
@@ -186,33 +213,46 @@ class BaseSession:
     # -- data plane (shared verbs) -------------------------------------
 
     def execute(self, operations):
-        """Run a batch of operations to completion; returns them."""
+        """Run a batch of operations to completion; returns them.
+
+        Batch execution never raises for per-operation I/O failures:
+        each failed operation carries its typed error in ``op.error``
+        (and ``op.result`` is None).  The single-operation verbs below
+        *do* raise that error.
+        """
         raise NotImplementedError
+
+    @staticmethod
+    def _result(op):
+        """Single-op verbs surface a failed op's typed error by raising."""
+        if op.error is not None:
+            raise op.error
+        return op.result
 
     def search(self, key):
         """Point lookup; returns the payload bytes or None."""
         (op,) = self.execute([search_op(key)])
-        return op.result
+        return self._result(op)
 
     def range_search(self, low, high, limit=0):
         """All (key, payload) pairs with low <= key <= high."""
         (op,) = self.execute([range_op(low, high, limit=limit)])
-        return op.result
+        return self._result(op)
 
     def insert(self, key, payload):
         """Upsert; returns True when the key was new."""
         (op,) = self.execute([insert_op(key, payload)])
-        return op.result
+        return self._result(op)
 
     def delete(self, key):
         """Remove a key; returns True when it was present."""
         (op,) = self.execute([delete_op(key)])
-        return op.result
+        return self._result(op)
 
     def sync(self):
         """Flush buffered updates (weak persistence); returns count."""
         (op,) = self.execute([sync_op()])
-        return op.result
+        return self._result(op)
 
     # -- dict-style sugar ----------------------------------------------
 
@@ -259,7 +299,11 @@ class PATreeSession(BaseSession):
 
     def _build(self, config):
         self.env = SimEnvironment(
-            config.seed, config.device_profile, config.os_profile
+            config.seed,
+            config.device_profile,
+            config.os_profile,
+            faults=config.faults,
+            retry=config.retry,
         )
         self.tree = PaTree.create(
             self.env.device, payload_size=config.payload_size
@@ -295,7 +339,7 @@ class PATreeSession(BaseSession):
     def update(self, key, payload):
         """Overwrite an existing key; returns True when found."""
         (op,) = self.execute([update_op(key, payload)])
-        return op.result
+        return self._result(op)
 
     # ------------------------------------------------------------------
     # introspection
@@ -314,6 +358,9 @@ class PATreeSession(BaseSession):
         device = self.env.device
         stats["device_reads"] = device.reads_completed.value
         stats["device_writes"] = device.writes_completed.value
+        stats["device_errors"] = device.errors_completed.value
+        if device.fault_injector is not None:
+            stats["faults"] = device.fault_injector.stats()
         stats["virtual_time_us"] = self.env.now_usec
         return stats
 
@@ -338,7 +385,11 @@ class AsyncLsmSession(BaseSession):
         from repro.palsm import AsyncLsmStore, PolledLsmWorker
 
         self.env = SimEnvironment(
-            config.seed, config.device_profile, config.os_profile
+            config.seed,
+            config.device_profile,
+            config.os_profile,
+            faults=config.faults,
+            retry=config.retry,
         )
         self.store = AsyncLsmStore(
             self.env.device,
@@ -365,11 +416,11 @@ class AsyncLsmSession(BaseSession):
 
     def put(self, key, payload):
         (op,) = self.execute([insert_op(key, payload)])
-        return op.result
+        return self._result(op)
 
     def get(self, key):
         (op,) = self.execute([search_op(key)])
-        return op.result
+        return self._result(op)
 
     # dict sugar routes through the LSM verbs
     _get = get
@@ -378,6 +429,10 @@ class AsyncLsmSession(BaseSession):
     def stats(self):
         """Worker statistics; fresh dict per call, cumulative counters."""
         stats = self.worker.stats()
+        device = self.env.device
+        stats["device_errors"] = device.errors_completed.value
+        if device.fault_injector is not None:
+            stats["faults"] = device.fault_injector.stats()
         stats["virtual_time_us"] = self.env.now_usec
         return stats
 
@@ -412,6 +467,8 @@ class ShardedSession(BaseSession):
             persistence=config.persistence,
             buffer_pages_per_shard=config.buffer_pages,
             device_profile=device_profile,
+            faults=config.faults,
+            retry=make_retry(config.retry),
         )
 
     @property
@@ -432,7 +489,7 @@ class ShardedSession(BaseSession):
     def update(self, key, payload):
         """Overwrite an existing key; returns True when found."""
         (op,) = self.execute([update_op(key, payload)])
-        return op.result
+        return self._result(op)
 
     def __len__(self):
         return self.sharded.key_count
@@ -440,6 +497,16 @@ class ShardedSession(BaseSession):
     def stats(self):
         """Aggregate + per-shard statistics (fresh dict, cumulative)."""
         stats = self.sharded.stats()
+        injector_stats = [
+            device.fault_injector.stats()
+            for device in self.sharded.devices
+            if device.fault_injector is not None
+        ]
+        if injector_stats:
+            stats["faults"] = {
+                key: sum(s[key] for s in injector_stats)
+                for key in injector_stats[0]
+            }
         stats["virtual_time_us"] = self.now_usec
         return stats
 

@@ -12,16 +12,38 @@
 Both expose generator-style ``read``/``write`` that block the calling
 simulated thread until the I/O completes — the synchronous paradigm
 whose costs the paper measures against PA-Tree.
+
+Both branch on the completion status: a failed *write* is re-driven
+inline (the blocking caller is already waiting, so escalation is just
+another submit) up to a bounded budget; a failed *read* — or a write
+that exhausts the budget — raises the typed
+:class:`~repro.errors.IoError` to the calling thread.
 """
 
 from collections import deque
 
-from repro.errors import SimulationError
+from repro.errors import IoError, RetryExhaustedError, SimulationError
 from repro.nvme.command import OP_READ, OP_WRITE
 from repro.sim.clock import usec
 from repro.sim.metrics import CPU_NVME, CPU_OTHER
 from repro.simos.sync import Mutex, Semaphore
 from repro.simos.thread import Cpu, SemPost, SemWait, Sleep
+
+_MAX_WRITE_ESCALATIONS = 8
+
+
+def _io_error(completion):
+    """Typed exception for a completion delivered with a failure status."""
+    command = completion.command
+    status = completion.status
+    cls = RetryExhaustedError if status.retriable else IoError
+    return cls(
+        "%s of lba %d failed with status %s (retries=%d)"
+        % (command.opcode, command.lba, status, command.retries),
+        status=status,
+        opcode=command.opcode,
+        lba=command.lba,
+    )
 
 
 class _ThreadIoState:
@@ -65,35 +87,45 @@ class DedicatedIoService:
 
     def _blocking_io(self, tls, opcode, lba, data):
         driver = self.driver
-        yield Cpu(driver.submit_cpu_ns, CPU_NVME)
-        done = []
-        driver.io_submit(tls.qpair, opcode, lba, data=data, callback=done.append)
-        while not done:
-            if self.pause_mode == "spin":
-                yield Cpu(self.poll_pause_ns, CPU_OTHER)  # busy pause
-            else:
-                yield Sleep(self.poll_pause_ns)
-            yield Cpu(driver.probe_cpu_ns(0), CPU_NVME)
-            driver.probe(tls.qpair)
-        return done[0]
+        escalations = 0
+        while True:
+            yield Cpu(driver.submit_cpu_ns, CPU_NVME)
+            done = []
+            driver.io_submit(
+                tls.qpair, opcode, lba, data=data, callback=done.append
+            )
+            while not done:
+                if self.pause_mode == "spin":
+                    yield Cpu(self.poll_pause_ns, CPU_OTHER)  # busy pause
+                else:
+                    yield Sleep(self.poll_pause_ns)
+                yield Cpu(driver.probe_cpu_ns(0), CPU_NVME)
+                driver.probe(tls.qpair)
+            completion = done[0]
+            if completion.ok:
+                return completion
+            if opcode == OP_WRITE and escalations < _MAX_WRITE_ESCALATIONS:
+                escalations += 1
+                continue
+            raise _io_error(completion)
 
     def read(self, tls, lba):
-        command = yield from self._blocking_io(tls, OP_READ, lba, None)
-        return command.data
+        completion = yield from self._blocking_io(tls, OP_READ, lba, None)
+        return completion.data
 
     def write(self, tls, lba, data):
         yield from self._blocking_io(tls, OP_WRITE, lba, data)
 
 
 class _IoRequest:
-    __slots__ = ("opcode", "lba", "data", "wakeup", "command")
+    __slots__ = ("opcode", "lba", "data", "wakeup", "completion")
 
     def __init__(self, opcode, lba, data):
         self.opcode = opcode
         self.lba = lba
         self.data = data
         self.wakeup = Semaphore(0, name="io-req")
-        self.command = None
+        self.completion = None
 
 
 class SharedIoService:
@@ -148,10 +180,10 @@ class SharedIoService:
 
             yield Cpu(driver.probe_cpu_ns(0), CPU_NVME)
             completed = driver.probe(self.qpair)
-            for command in completed:
+            for completion in completed:
                 outstanding -= 1
-                request = command.context
-                request.command = command
+                request = completion.context
+                request.completion = completion
                 yield SemPost(request.wakeup)
 
             if not batch and not completed:
@@ -160,16 +192,24 @@ class SharedIoService:
                 yield Cpu(self.daemon_spin_ns, CPU_NVME)
 
     def _blocking_io(self, tls, opcode, lba, data):
-        request = _IoRequest(opcode, lba, data)
-        yield SemWait(self._mutex)
-        self._requests.append(request)
-        yield SemPost(self._mutex)
-        yield SemWait(request.wakeup)
-        return request.command
+        escalations = 0
+        while True:
+            request = _IoRequest(opcode, lba, data)
+            yield SemWait(self._mutex)
+            self._requests.append(request)
+            yield SemPost(self._mutex)
+            yield SemWait(request.wakeup)
+            completion = request.completion
+            if completion.ok:
+                return completion
+            if opcode == OP_WRITE and escalations < _MAX_WRITE_ESCALATIONS:
+                escalations += 1
+                continue
+            raise _io_error(completion)
 
     def read(self, tls, lba):
-        command = yield from self._blocking_io(tls, OP_READ, lba, None)
-        return command.data
+        completion = yield from self._blocking_io(tls, OP_READ, lba, None)
+        return completion.data
 
     def write(self, tls, lba, data):
         yield from self._blocking_io(tls, OP_WRITE, lba, data)

@@ -13,7 +13,7 @@ harnesses can compare the paradigms directly.
 from collections import deque
 
 from repro.core.ops import SYNC
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, IoError
 from repro.sim.metrics import Counter, LatencyRecorder
 from repro.simos.sync import Mutex
 from repro.simos.thread import SemPost, SemWait
@@ -34,6 +34,7 @@ class BaselineRunner:
         self._queue_mutex = Mutex("op-queue")
         self.latencies = LatencyRecorder()
         self.completed = Counter()
+        self.failed_ops = Counter()
         self.user_completed = 0
         self.last_user_done_ns = 0
         self.threads = []
@@ -48,13 +49,22 @@ class BaselineRunner:
             if op is None:
                 return
             op.admit_ns = self.engine.now
-            yield from accessor.execute(tls, op)
+            try:
+                yield from accessor.execute(tls, op)
+            except IoError as exc:
+                # typed I/O failure: record it on the op and keep the
+                # worker alive (the aborted op may leak a latch, as a
+                # crashed thread would; fault runs use async engines)
+                op.error = exc
+                op.result = None
+                self.failed_ops.add()
             op.done_ns = self.engine.now
-            self.latencies.record(op.latency_ns)
             self.completed.add()
-            if op.kind != SYNC:
-                self.user_completed += 1
-                self.last_user_done_ns = op.done_ns
+            if op.error is None:
+                self.latencies.record(op.latency_ns)
+                if op.kind != SYNC:
+                    self.user_completed += 1
+                    self.last_user_done_ns = op.done_ns
 
     def start(self):
         self.accessor.io.start(self.simos)

@@ -18,6 +18,7 @@ import os
 import sys
 
 from repro.bench.experiments import (
+    faults_injection,
     fig3_device,
     fig7_fig8,
     fig10_probing,
@@ -73,6 +74,16 @@ _EXHIBITS = {
     "fig15": (
         "Fig 15: end-to-end comparison",
         lambda args, out: fig15_end_to_end.report(out=out),
+    ),
+    "faults": (
+        "Faults: goodput and recovery under injected device errors",
+        lambda args, out: faults_injection.report(
+            faults_injection.run_experiment(
+                n_ops=args.ops or 1_500, seed=args.seed
+            ),
+            out=out,
+            json_dir=args.out or "benchmarks/results",
+        ),
     ),
     "shards": (
         "Scale-out: sharded multi-device PA-Tree",

@@ -103,12 +103,13 @@ def _interleave_syncs(operations, sync_every):
 class _Machine:
     """One simulated machine with a freshly formatted tree."""
 
-    def __init__(self, seed, device_profile=None, payload_size=8):
+    def __init__(self, seed, device_profile=None, payload_size=8,
+                 faults=None, retry=None):
         self.engine = Engine(seed=seed)
         self.simos = SimOS(self.engine, paper_testbed_profile())
         self.device_profile = device_profile or i3_nvme_profile()
-        self.device = NvmeDevice(self.engine, self.device_profile)
-        self.driver = NvmeDriver(self.device)
+        self.device = NvmeDevice(self.engine, self.device_profile, faults=faults)
+        self.driver = NvmeDriver(self.device, retry=retry)
         self.tree = PaTree.create(self.device, payload_size=payload_size)
 
 
@@ -159,6 +160,8 @@ def run_pa(
     open_loop_rate=None,
     fill_factor=0.7,
     trace=False,
+    faults=None,
+    retry=None,
 ):
     """Run one PA-Tree experiment; returns the flat stats dict.
 
@@ -167,8 +170,14 @@ def run_pa(
     the ``"trace_session"`` key.  Tracing observes through hook points
     that charge no virtual time, so every reported quantity matches the
     untraced run exactly.
+
+    ``faults`` (a :class:`repro.faults.FaultConfig` or kwargs dict) arms
+    the device's fault injector and ``retry`` overrides the driver's
+    :class:`~repro.nvme.driver.RetryPolicy`; both default to off, which
+    reproduces the fault-free numbers bit for bit.
     """
-    machine = _Machine(seed, device_profile, spec.payload_size)
+    machine = _Machine(seed, device_profile, spec.payload_size,
+                       faults=faults, retry=retry)
     rng = RngRegistry(seed).stream("workload")
     workload = spec.build(rng)
     machine.tree.bulk_load(workload.preload_items(), fill_factor)
@@ -226,6 +235,15 @@ def run_pa(
         "probes": pa.probes.value,
         "latch_waits": pa.latch_wait_events.value,
     }
+    if machine.device.fault_injector is not None:
+        # fault-path keys appear only on armed runs so fault-free rows
+        # keep their historical shape
+        result["faults"] = machine.device.fault_injector.stats()
+        result["io_errors"] = pa.io_errors.value
+        result["failed_ops"] = pa.failed_ops.value
+        result["io_retries"] = machine.driver.retries_scheduled.value
+        result["io_escalations"] = pa.io_escalations.value
+        result["lost_writes"] = pa.lost_writes.value
     if session is not None:
         result["trace_session"] = session
     return _finish_stats(

@@ -31,8 +31,14 @@ from repro.core.ops import (
     WriteEff,
 )
 from repro.core.plans import make_plan
-from repro.errors import SchedulerError, TreeError
-from repro.nvme.command import NvmeCommand, OP_READ
+from repro.errors import (
+    IoError,
+    QueueFullError,
+    RetryExhaustedError,
+    SchedulerError,
+    TreeError,
+)
+from repro.nvme.command import Completion, OP_READ
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.metrics import (
     CPU_NVME,
@@ -114,11 +120,17 @@ class PaTreeEngine:
         self._node_cache = {}
         self._writes_in_flight = {}
         self._deferred_flushes = deque()
+        self._deferred_escalations = deque()
         self._background_outstanding = 0
         self._active_sync = None
         self._next_seq = 0
         self.inflight = 0
         self._shutdown = False
+        # a write that keeps failing is re-driven (fresh command, the
+        # escalation count carried forward) this many times before the
+        # engine declares the page lost; only pathological fault
+        # configs (error rate ~1) ever reach the cap
+        self.max_write_escalations = 8
 
         # measurement state
         self.latencies = LatencyRecorder()
@@ -128,6 +140,13 @@ class PaTreeEngine:
         self.last_user_done_ns = 0
         self.probes = Counter()
         self.latch_wait_events = Counter()
+        # error-path accounting: failures the driver delivered to us,
+        # operations aborted with a typed error, write re-drives, and
+        # writes abandoned at the escalation cap
+        self.io_errors = Counter()
+        self.failed_ops = Counter()
+        self.io_escalations = Counter()
+        self.lost_writes = Counter()
         self.worker_thread = None
         self.poller_thread = None
 
@@ -204,6 +223,14 @@ class PaTreeEngine:
                 self._submit_page_write(lba, data, flush_op)
                 worked = True
 
+            # re-drive failed writes that could not be resubmitted from
+            # callback context because the submission ring was full
+            while self._deferred_escalations and self.qpair.sq.free_slots > 8:
+                lba, data, esc_op, escalations = self._deferred_escalations.popleft()
+                yield Cpu(driver.submit_cpu_ns, CPU_NVME)
+                self._resubmit_write(lba, data, esc_op, escalations)
+                worked = True
+
             if policy.ready_count():
                 yield Cpu(policy.pick_cost_ns(), CPU_SCHED)
                 op = policy.pick()
@@ -252,7 +279,11 @@ class PaTreeEngine:
             if self._finished():
                 break
 
-            if policy.ready_count() == 0 and not self._deferred_flushes:
+            if (
+                policy.ready_count() == 0
+                and not self._deferred_flushes
+                and not self._deferred_escalations
+            ):
                 sleep_ns = policy.idle_sleep_ns()
                 next_arrival = source.next_event_ns(self.clock.now)
                 if sleep_ns > 0:
@@ -325,10 +356,10 @@ class PaTreeEngine:
 
         send = op.resume_value
         op.resume_value = None
-        if type(send) is NvmeCommand:
+        if type(send) is Completion:
             # read completion: turn raw bytes into a parsed node
             yield Cpu(costs.node_parse_ns, CPU_REAL_WORK)
-            send = self._node_from_command(send)
+            send = self._node_from_completion(send)
 
         while True:
             try:
@@ -472,10 +503,13 @@ class PaTreeEngine:
         self.inflight -= 1
         self.completed.add()
         self.completed_by_kind[op.kind] = self.completed_by_kind.get(op.kind, 0) + 1
-        if op.kind != SYNC:
+        if op.kind != SYNC and op.error is None:
             self.user_completed += 1
             self.last_user_done_ns = op.done_ns
-        self.latencies.record(op.latency_ns)
+        if op.error is None:
+            # goodput only: an errored op produced no usable result, so
+            # its (truncated) latency must not dilute the distribution
+            self.latencies.record(op.latency_ns)
         if self.tracer.enabled:
             self.tracer.async_end("op", op.seq, op.kind)
         if self.op_observer is not None:
@@ -502,9 +536,13 @@ class PaTreeEngine:
         )
         self.io_history.on_submit(command)
 
-    def _on_io_done(self, command):
+    def _on_io_done(self, completion):
         """Completion callback, fired from a probe (zero virtual time)."""
+        command = completion.command
         self.io_history.on_complete(command)
+        if not completion.ok:
+            self._on_io_failed(completion)
+            return
         op = command.context
 
         if command.opcode == OP_READ:
@@ -513,7 +551,9 @@ class PaTreeEngine:
                     command.lba, command.data
                 ):
                     self._deferred_flushes.append((victim_id, victim_data, None))
-            op.resume_value = command
+            if op.state is ST_DONE:
+                return  # late completion for an already-aborted op
+            op.resume_value = completion
             op.io_remaining -= 1
             if op.io_remaining == 0:
                 op.state = ST_READY
@@ -525,10 +565,7 @@ class PaTreeEngine:
         pending = self._writes_in_flight.get(lba)
         if pending:
             next_data, next_op = pending.popleft()
-            next_command = self.driver.write(
-                self.qpair, lba, next_data, callback=self._on_io_done, context=next_op
-            )
-            self.io_history.on_submit(next_command)
+            self._resubmit_write(lba, next_data, next_op, 0)
         else:
             self._writes_in_flight.pop(lba, None)
 
@@ -552,8 +589,126 @@ class PaTreeEngine:
 
         op.io_remaining -= 1
         if op.io_remaining == 0:
-            op.state = ST_READY
-            self.policy.on_ready(op)
+            if op.error is not None:
+                # a sibling write in this wave was abandoned; finish
+                # the abort now that the wave has fully drained
+                self._abort_op(op, None)
+            else:
+                op.state = ST_READY
+                self.policy.on_ready(op)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def _on_io_failed(self, completion):
+        """A failure the driver would not (or could no longer) retry."""
+        command = completion.command
+        self.io_errors.add()
+        if self.tracer.enabled:
+            self.tracer.async_instant(
+                "io", id(command) % 1_000_000, "io_error",
+                args={"status": str(completion.status), "lba": command.lba},
+            )
+        if command.opcode == OP_READ:
+            op = command.context
+            if op is None or op.state is ST_DONE:
+                return
+            op.io_remaining -= 1
+            self._abort_op(op, self._error_from(completion))
+            return
+        # failed writes are never dropped: the in-memory tree already
+        # reflects the mutation, so the page must eventually land or be
+        # explicitly declared lost — abort would desync tree and media
+        self._escalate_write(completion)
+
+    def _error_from(self, completion):
+        command = completion.command
+        status = completion.status
+        cls = RetryExhaustedError if status.retriable else IoError
+        return cls(
+            "%s of lba %d failed with status %s (retries=%d)"
+            % (command.opcode, command.lba, status, command.retries),
+            status=status,
+            opcode=command.opcode,
+            lba=command.lba,
+        )
+
+    def _abort_op(self, op, error):
+        """Terminate ``op`` with a typed error, releasing its latches."""
+        if error is not None and op.error is None:
+            op.error = error
+        op.result = None
+        if op.gen is not None:
+            op.gen.close()
+        for page_id in sorted(op.held_latches):
+            woken = self.latches.release(op, page_id)
+            for waiter in woken:
+                waiter.state = ST_READY
+                self.policy.on_ready(waiter)
+        self.failed_ops.add()
+        if self.tracer.enabled:
+            self.tracer.async_instant(
+                "op", op.seq, "aborted", args={"error": str(op.error)}
+            )
+        self._complete(op)
+
+    def _escalate_write(self, completion):
+        """Re-drive a failed write (fresh command, escalation carried)."""
+        command = completion.command
+        if command.escalations >= self.max_write_escalations:
+            self._give_up_write(completion)
+            return
+        self.io_escalations.add()
+        self._resubmit_write(
+            command.lba, command.data, command.context, command.escalations + 1
+        )
+
+    def _resubmit_write(self, lba, data, op, escalations):
+        """Submit a write from callback context, deferring on a full ring."""
+        try:
+            command = self.driver.write(
+                self.qpair, lba, data, callback=self._on_io_done, context=op
+            )
+        except QueueFullError:
+            self._deferred_escalations.append((lba, data, op, escalations))
+            return
+        command.escalations = escalations
+        self.io_history.on_submit(command)
+
+    def _give_up_write(self, completion):
+        """The escalation budget is spent; declare the page lost."""
+        command = completion.command
+        lba = command.lba
+        op = command.context
+        self.lost_writes.add()
+        # advance the per-LBA serialization chain past the lost write
+        pending = self._writes_in_flight.get(lba)
+        if pending:
+            next_data, next_op = pending.popleft()
+            self._resubmit_write(lba, next_data, next_op, 0)
+        else:
+            self._writes_in_flight.pop(lba, None)
+        error = self._error_from(completion)
+        if op is None:
+            self._background_outstanding -= 1
+            if self.buffer is not None:
+                self.buffer.flush_done(lba)
+            self._maybe_finish_sync()
+            return
+        if op.kind == SYNC:
+            if self.buffer is not None:
+                self.buffer.flush_done(lba)
+            if op.error is None:
+                op.error = error
+            op.io_remaining -= 1
+            self._maybe_finish_sync()
+            return
+        op.io_remaining -= 1
+        if op.error is None:
+            op.error = error
+        if op.io_remaining == 0:
+            self._abort_op(op, None)
 
     def _maybe_finish_sync(self):
         op = self._active_sync
@@ -570,6 +725,7 @@ class PaTreeEngine:
             and self.inflight == 0
             and self._background_outstanding == 0
             and not self._deferred_flushes
+            and not self._deferred_escalations
         )
 
     # ------------------------------------------------------------------
@@ -581,10 +737,10 @@ class PaTreeEngine:
             self._node_cache.clear()
         self._node_cache[node.page_id] = node
 
-    def _node_from_command(self, command):
-        node = self._node_cache.get(command.lba)
+    def _node_from_completion(self, completion):
+        node = self._node_cache.get(completion.lba)
         if node is None:
-            node = Node.from_bytes(self.tree.config, command.lba, command.data)
+            node = Node.from_bytes(self.tree.config, completion.lba, completion.data)
             self._cache_node(node)
         return node
 
@@ -607,4 +763,9 @@ class PaTreeEngine:
             "outstanding_avg": self.io_history.outstanding_count,
             "mean_latency_us": self.latencies.mean_usec(),
             "p99_latency_us": self.latencies.p99_usec(),
+            "io_errors": self.io_errors.value,
+            "failed_ops": self.failed_ops.value,
+            "io_retries": self.driver.retries_scheduled.value,
+            "io_escalations": self.io_escalations.value,
+            "lost_writes": self.lost_writes.value,
         }

@@ -121,6 +121,7 @@ class Operation:
         "write_latches",
         "io_remaining",
         "result",
+        "error",
         "admit_ns",
         "done_ns",
         "on_complete",
@@ -140,6 +141,9 @@ class Operation:
         self.write_latches = 0
         self.io_remaining = 0
         self.result = None
+        # typed IoError/RetryExhaustedError when the op's I/O failed;
+        # a completed op with error set produced no usable result
+        self.error = None
         self.admit_ns = None
         self.done_ns = None
         self.on_complete = None

@@ -199,13 +199,18 @@ class PartitionedPaTree:
             if state.remaining:
                 return
             parent = state.parent
+            for part in state.parts:
+                if part.error is not None:
+                    parent.error = part.error
+                    break
             if parent.kind == RANGE:
                 merged = []
                 for part in state.parts:
-                    merged.extend(part.result)
+                    if part.result:
+                        merged.extend(part.result)
                 if parent.limit:
                     merged = merged[: parent.limit]
-                parent.result = merged
+                parent.result = None if parent.error is not None else merged
             else:  # broadcast sync
                 parent.result = sum(part.result or 0 for part in state.parts)
             if parent.on_complete is not None:

@@ -1,7 +1,31 @@
 """Exception hierarchy for the PA-Tree reproduction.
 
 All library-raised exceptions derive from :class:`ReproError` so callers
-can catch a single base class at the API boundary.
+can catch a single base class at the API boundary.  The tree::
+
+    ReproError
+    ├── SimulationError          (simulation kernel misuse)
+    │   └── DeadlockError
+    ├── DeviceError              (NVMe device model / completion path)
+    │   ├── QueueFullError       (submission ring has no free slot)
+    │   └── IoError              (a command completed with a failure status)
+    │       └── RetryExhaustedError  (still failing after retry/backoff)
+    ├── StorageError             (block storage layer)
+    │   ├── PageBoundsError
+    │   ├── AllocationError
+    │   └── CorruptPageError
+    ├── TreeError                (B+ tree invariants / bad input)
+    │   ├── KeyEncodingError
+    │   └── LatchError
+    ├── SchedulerError
+    ├── WorkloadError
+    └── BenchmarkError
+
+:class:`IoError` is the typed error the session facades surface when an
+operation's I/O failed (a fault-injected transient error that outlived
+the driver's bounded retries, or a read of a poisoned LBA); it carries
+the final :class:`~repro.nvme.command.IoStatus`, the opcode and the LBA
+so callers and tests can assert on the exact failure.
 """
 
 
@@ -23,6 +47,26 @@ class DeviceError(ReproError):
 
 class QueueFullError(DeviceError):
     """A submission queue ring has no free slot."""
+
+
+class IoError(DeviceError):
+    """An NVMe command completed with a non-success status.
+
+    Raised (or attached to ``op.error``) after the driver's retry
+    budget is spent or when the failure is not retriable (a poisoned
+    LBA).  ``status`` is the final :class:`~repro.nvme.command.IoStatus`;
+    ``opcode`` and ``lba`` identify the failed command.
+    """
+
+    def __init__(self, message, status=None, opcode=None, lba=None):
+        super().__init__(message)
+        self.status = status
+        self.opcode = opcode
+        self.lba = lba
+
+
+class RetryExhaustedError(IoError):
+    """An I/O kept failing through the bounded retry/backoff budget."""
 
 
 class StorageError(ReproError):

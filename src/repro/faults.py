@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the simulated NVMe device.
+
+Real polled-mode NVMe paths must survive per-command failure statuses
+and stragglers; this module makes those first-class, reproducible
+quantities.  A :class:`FaultConfig` declares *what* can go wrong and a
+:class:`FaultInjector` (one per device, seeded from the device's own
+named RNG stream) decides, per command, *whether* it goes wrong:
+
+* **Transient media errors** — with probability ``read_error_rate`` /
+  ``write_error_rate`` a command completes with
+  :attr:`~repro.nvme.command.IoStatus.MEDIA_ERROR`; a failed write
+  leaves the media unchanged, a failed read returns no data.  These are
+  retriable: the driver's :class:`~repro.nvme.driver.RetryPolicy`
+  resubmits with virtual-time exponential backoff.
+* **Latency spikes (stragglers)** — with probability ``spike_rate`` a
+  command's media service time is multiplied by ``spike_factor``,
+  producing the tail-latency outliers real devices exhibit.
+* **Poisoned LBAs** — pages listed in ``poison_lbas`` (or covered by
+  ``poison_ranges``) fail every *read* with the non-retriable
+  :attr:`~repro.nvme.command.IoStatus.UNRECOVERED_READ`.  A successful
+  *write* to a poisoned LBA cures it (the FTL remaps the bad block on
+  program, as real SSDs do) — so writes always eventually land and a
+  durable index never wedges on a bad block, while cold poisoned pages
+  surface typed read errors to the layers above.
+
+Because the injector draws from its own named stream
+(``faults:<device-rng-name>``), enabling fault injection never perturbs
+device service-time draws: a zero-rate config is bit-for-bit identical
+to running with no injector at all, and a nonzero-rate run is exactly
+reproducible from the experiment seed.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.nvme.command import IoStatus
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative fault model for one simulated device.
+
+    Rates are per-command probabilities in ``[0, 1]``;
+    ``poison_ranges`` is an iterable of inclusive ``(low, high)`` LBA
+    pairs.  The default config injects nothing.
+    """
+
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_factor: float = 25.0
+    poison_lbas: tuple = ()
+    poison_ranges: tuple = ()
+
+    def __post_init__(self):
+        for name in ("read_error_rate", "write_error_rate", "spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError("%s %r outside [0, 1]" % (name, rate))
+        if self.spike_factor < 1.0:
+            raise SimulationError(
+                "spike_factor %r must be >= 1" % (self.spike_factor,)
+            )
+        for pair in self.poison_ranges:
+            low, high = pair
+            if low > high or low < 0:
+                raise SimulationError("bad poison range %r" % (pair,))
+
+    @property
+    def injects_anything(self):
+        return bool(
+            self.read_error_rate
+            or self.write_error_rate
+            or self.spike_rate
+            or self.poison_lbas
+            or self.poison_ranges
+        )
+
+
+class FaultInjector:
+    """Per-device fault decision engine with its own RNG stream.
+
+    The device consults it at two points: :meth:`service_factor` when a
+    command is fetched into a channel (latency spikes) and
+    :meth:`complete_status` when media service finishes (error codes).
+    All counters are cumulative and exposed through :meth:`stats`.
+    """
+
+    def __init__(self, config, rng):
+        self.config = config
+        self._rng = rng
+        self._poisoned = set(config.poison_lbas)
+        self._ranges = tuple(
+            (int(low), int(high)) for low, high in config.poison_ranges
+        )
+        self._cured = set()
+        # cumulative counters
+        self.media_errors_injected = 0
+        self.spikes_injected = 0
+        self.poison_read_failures = 0
+        self.poison_cured = 0
+
+    # -- poison bookkeeping --------------------------------------------
+
+    def poison(self, lba):
+        """Mark one LBA bad at runtime (tests / chaos harnesses)."""
+        self._cured.discard(lba)
+        self._poisoned.add(lba)
+
+    def is_poisoned(self, lba):
+        if lba in self._poisoned:
+            return True
+        if lba in self._cured:
+            return False
+        return any(low <= lba <= high for low, high in self._ranges)
+
+    def _cure(self, lba):
+        self._poisoned.discard(lba)
+        if any(low <= lba <= high for low, high in self._ranges):
+            self._cured.add(lba)
+        self.poison_cured += 1
+
+    # -- device decision points ----------------------------------------
+
+    def service_factor(self, is_write):
+        """Multiplier applied to this command's media service time."""
+        rate = self.config.spike_rate
+        if rate and self._rng.random() < rate:
+            self.spikes_injected += 1
+            return self.config.spike_factor
+        return 1.0
+
+    def complete_status(self, command):
+        """The :class:`IoStatus` this command completes with.
+
+        Called once per service attempt; a write that succeeds against
+        a poisoned LBA cures it (FTL remap-on-program).
+        """
+        if not command.is_write and self.is_poisoned(command.lba):
+            self.poison_read_failures += 1
+            return IoStatus.UNRECOVERED_READ
+        rate = (
+            self.config.write_error_rate
+            if command.is_write
+            else self.config.read_error_rate
+        )
+        if rate and self._rng.random() < rate:
+            self.media_errors_injected += 1
+            return IoStatus.MEDIA_ERROR
+        if command.is_write and self.is_poisoned(command.lba):
+            self._cure(command.lba)
+        return IoStatus.SUCCESS
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self):
+        """Cumulative injection counters (fresh dict per call)."""
+        return {
+            "media_errors_injected": self.media_errors_injected,
+            "spikes_injected": self.spikes_injected,
+            "poison_read_failures": self.poison_read_failures,
+            "poison_cured": self.poison_cured,
+            "poisoned_lbas": len(self._poisoned),
+        }
+
+
+def make_injector(faults, rng):
+    """Normalize ``faults`` (None / config / injector) for a device."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultConfig):
+        return FaultInjector(faults, rng)
+    if isinstance(faults, dict):
+        return FaultInjector(FaultConfig(**faults), rng)
+    raise SimulationError(
+        "faults must be a FaultConfig, FaultInjector, dict or None, "
+        "not %r" % (faults,)
+    )

@@ -26,6 +26,8 @@ buffering, WAL group commit) testable, not just timed.
 from functools import partial
 
 from repro.errors import DeviceError, PageBoundsError
+from repro.faults import make_injector
+from repro.nvme.command import Completion, IoStatus
 from repro.nvme.latency import ServiceTimeModel
 from repro.nvme.qpair import QueuePair
 from repro.sim.clock import usec
@@ -129,7 +131,7 @@ def fast_test_profile(**overrides):
 class NvmeDevice:
     """Event-driven NVMe SSD model bound to a simulation engine."""
 
-    def __init__(self, engine, profile=None, rng_name="nvme"):
+    def __init__(self, engine, profile=None, rng_name="nvme", faults=None):
         self.engine = engine
         self.profile = profile or DeviceProfile()
         self.service = ServiceTimeModel(
@@ -138,6 +140,11 @@ class NvmeDevice:
             self.profile.service_sigma,
         )
         self._rng = engine.rng.stream(rng_name)
+        # the injector draws from its own stream so enabling faults
+        # never perturbs service-time draws (A/B runs stay paired)
+        self.fault_injector = make_injector(
+            faults, engine.rng.stream("faults:" + rng_name)
+        )
         self._pages = {}
         self._qpairs = []
         self._rr_index = 0
@@ -146,6 +153,7 @@ class NvmeDevice:
         # statistics
         self.reads_completed = Counter()
         self.writes_completed = Counter()
+        self.errors_completed = Counter()
         self.read_latency_sum_ns = 0
         self.write_latency_sum_ns = 0
         self.outstanding = TimeWeightedGauge(engine.clock)
@@ -179,7 +187,7 @@ class NvmeDevice:
                 )
         command.qpair = qpair
         command.submit_ns = self.engine.now
-        command.status = "submitted"
+        command.status = IoStatus.SUBMITTED
         qpair.sq.push(command)
         qpair.outstanding += 1
         qpair.submitted += 1
@@ -286,45 +294,65 @@ class NvmeDevice:
             fetch_end = self._occupy_interface(self.profile.fetch_ns)
             command.fetch_ns = fetch_end
             service = self.service.sample(command.is_write, self._rng)
+            if self.fault_injector is not None:
+                service = int(
+                    service * self.fault_injector.service_factor(command.is_write)
+                )
             finish = fetch_end + service
             self.engine.schedule_at(
                 finish, partial(self._service_done, command)
             )
 
     def _service_done(self, command):
-        """Media finished; apply the data and post the completion."""
+        """Media finished; mint the status, apply data, post completion.
+
+        The fault injector (when configured) decides the completion
+        status: a failed write leaves the media untouched and a failed
+        read carries no data — exactly the contract a real error status
+        implies.
+        """
         now = self.engine.now
         command.complete_ns = now
-        if command.is_write:
-            self._pages[command.lba] = bytes(command.data)
+        if self.fault_injector is None:
+            status = IoStatus.SUCCESS
         else:
-            command.data = self.raw_read(command.lba)
+            status = self.fault_injector.complete_status(command)
+        if status.ok:
+            if command.is_write:
+                self._pages[command.lba] = bytes(command.data)
+            else:
+                command.data = self.raw_read(command.lba)
         self._free_channels += 1
         post_end = self._occupy_interface(self.profile.post_ns)
         if post_end <= now:
-            self._post_completion(command)
+            self._post_completion(command, status)
         else:
             self.engine.schedule_at(
-                post_end, partial(self._post_completion, command)
+                post_end, partial(self._post_completion, command, status)
             )
         self._try_start()
 
-    def _post_completion(self, command):
-        command.status = "completed"
+    def _post_completion(self, command, status):
+        command.status = status
         command.visible_ns = self.engine.now
         qpair = command.qpair
         qpair.outstanding -= 1
         qpair.completed += 1
         self.outstanding.add(-1)
         latency = command.visible_ns - command.submit_ns
-        if command.is_write:
+        if not status.ok:
+            self.errors_completed.add()
+        elif command.is_write:
             self.writes_completed.add()
             self.write_latency_sum_ns += latency
         else:
             self.reads_completed.add()
             self.read_latency_sum_ns += latency
-        qpair.cq.push(command)
+        completion = Completion(
+            command, status, command.visible_ns, attempt=command.retries
+        )
+        qpair.cq.push(completion)
         if self.on_complete is not None:
-            self.on_complete(command)
+            self.on_complete(completion)
         if qpair.on_complete is not None:
-            qpair.on_complete(command)
+            qpair.on_complete(completion)

@@ -10,16 +10,76 @@ CPU costs: the driver exposes the per-call CPU cost constants
 (``submit_cpu_ns``, ``probe_cpu_ns(...)``) and callers charge them to
 their simulated thread with a ``Cpu`` instruction, tagged ``CPU_NVME``
 so the Fig 9 breakdown sees driver time separately from index work.
+
+Error handling: ``probe`` returns :class:`Completion` records, not bare
+commands.  A :class:`RetryPolicy` (a default bounded one unless the
+caller overrides it) swallows retriable failures (transient media
+errors) and transparently resubmits the command after a virtual-time
+exponential backoff — callers only see the completion once it succeeds
+or the retry budget is spent.
+Non-retriable failures (poisoned-LBA reads) and budget-exhausted
+failures are delivered with their failure status for the layers above
+to turn into typed errors.
 """
 
+from functools import partial
+
+from repro.errors import QueueFullError
 from repro.nvme.command import NvmeCommand, OP_READ, OP_WRITE
+from repro.sim.clock import usec
+from repro.sim.metrics import Counter
+
+
+class RetryPolicy:
+    """Bounded retry with virtual-time exponential backoff.
+
+    A command whose completion status is retriable is resubmitted up to
+    ``max_retries`` times; the n-th retry waits
+    ``backoff_ns * multiplier**n`` (capped at ``max_backoff_ns``) of
+    virtual time before resubmission, mirroring how a real driver
+    avoids hammering a briefly-unhappy device.
+    """
+
+    __slots__ = ("max_retries", "backoff_ns", "multiplier", "max_backoff_ns")
+
+    def __init__(
+        self,
+        max_retries=3,
+        backoff_ns=usec(20),
+        multiplier=4.0,
+        max_backoff_ns=usec(2_000),
+    ):
+        self.max_retries = max_retries
+        self.backoff_ns = backoff_ns
+        self.multiplier = multiplier
+        self.max_backoff_ns = max_backoff_ns
+
+    def delay_ns(self, retries_spent):
+        """Backoff before the retry following ``retries_spent`` retries."""
+        delay = self.backoff_ns * (self.multiplier ** retries_spent)
+        return int(min(delay, self.max_backoff_ns))
+
+    def should_retry(self, completion):
+        return (
+            completion.status.retriable
+            and completion.command.retries < self.max_retries
+        )
 
 
 class NvmeDriver:
     """Host-side driver bound to one :class:`NvmeDevice`."""
 
-    def __init__(self, device):
+    def __init__(self, device, retry=None):
         self.device = device
+        #: the :class:`RetryPolicy` in force; ``None`` selects the
+        #: default bounded policy (a healthy device never consults it).
+        #: Pass ``RetryPolicy(max_retries=0)`` to deliver every failure.
+        self.retry = RetryPolicy() if retry is None else retry
+        self.retries_scheduled = Counter()
+        self.failures_delivered = Counter()
+        #: observability hook: called with each completion whose command
+        #: is about to be retried (before the backoff sleep)
+        self.on_retry = None
 
     # cost constants -----------------------------------------------------
 
@@ -66,12 +126,49 @@ class NvmeDriver:
     def probe(self, qpair, max_completions=0):
         """Drain visible completions and fire their callbacks.
 
-        Returns the list of completed commands.  Callbacks run
-        synchronously (zero virtual time); any modelled cost of the
-        post-completion work is the callback owner's to charge.
+        Returns the list of delivered :class:`Completion` records.
+        Callbacks run synchronously (zero virtual time); any modelled
+        cost of the post-completion work is the callback owner's to
+        charge.  Retriable failures within the retry budget are *not*
+        delivered: the command is resubmitted after backoff and its
+        completion surfaces from a later probe.
         """
         completed = self.device.probe(qpair, max_completions)
-        for command in completed:
-            if command.callback is not None:
-                command.callback(command)
-        return completed
+        delivered = []
+        for completion in completed:
+            if not completion.ok:
+                if self.retry is not None and self.retry.should_retry(completion):
+                    self._schedule_retry(qpair, completion)
+                    continue
+                self.failures_delivered.add()
+            delivered.append(completion)
+            callback = completion.command.callback
+            if callback is not None:
+                callback(completion)
+        return delivered
+
+    # retry path ---------------------------------------------------------
+
+    def _schedule_retry(self, qpair, completion):
+        command = completion.command
+        delay = self.retry.delay_ns(command.retries)
+        command.retries += 1
+        self.retries_scheduled.add()
+        if self.on_retry is not None:
+            self.on_retry(completion)
+        engine = self.device.engine
+        engine.schedule_at(
+            engine.now + delay, partial(self._resubmit, qpair, command)
+        )
+
+    def _resubmit(self, qpair, command):
+        try:
+            self.device.submit(qpair, command)
+        except QueueFullError:
+            # the ring is momentarily full; wait one base backoff and
+            # try again — the slot drought clears as probes drain it
+            engine = self.device.engine
+            engine.schedule_at(
+                engine.now + self.retry.backoff_ns,
+                partial(self._resubmit, qpair, command),
+            )

@@ -40,11 +40,15 @@ class TraceSession:
         self.write_latency = latency_histogram()
         self.op_latency = {}  # op kind -> Histogram
         self.dispatches = 0
+        self.io_faults = 0
+        self.io_retries = 0
+        self.failed_ops = 0
         self._io_seq = 0
         self._io_ids = {}
         self._running_since = {}  # tid -> (start_ns, core_index)
         self._simos = None
         self._devices = []
+        self._drivers = []
         self._buffer = None
         self._workers = []
         engine.on_dispatch = self._on_dispatch
@@ -92,6 +96,10 @@ class TraceSession:
         self._workers.append(worker)
         worker.tracer = self.tracer
         worker.op_observer = self
+        driver = getattr(worker, "driver", None)
+        if driver is not None:
+            self._drivers.append(driver)
+            driver.on_retry = self._on_io_retry
         prefix = (name + "_") if name else ""
         self.sampler.add_probe(prefix + "ready_ops", worker.policy.ready_count)
         self.sampler.add_probe(prefix + "inflight_ops", lambda: worker.inflight)
@@ -134,6 +142,9 @@ class TraceSession:
         for device in self._devices:
             device.on_submit = None
             device.on_complete = None
+        for driver in self._drivers:
+            if driver.on_retry == self._on_io_retry:
+                driver.on_retry = None
         if self._simos is not None:
             self._simos.on_thread_state = None
         return self
@@ -153,24 +164,40 @@ class TraceSession:
             "io", aid, command.opcode, args={"lba": command.lba}
         )
 
-    def _on_io_complete(self, command):
-        latency = command.visible_ns - command.submit_ns
-        if command.opcode == OP_READ:
-            self.read_latency.record(latency)
+    def _on_io_complete(self, completion):
+        command = completion.command
+        if completion.ok:
+            latency = command.visible_ns - command.submit_ns
+            if command.opcode == OP_READ:
+                self.read_latency.record(latency)
+            else:
+                self.write_latency.record(latency)
         else:
-            self.write_latency.record(latency)
+            self.io_faults += 1
         aid = self._io_ids.pop(command, None)
         if aid is None:
             return
-        self.tracer.async_end(
+        args = {
+            "lba": command.lba,
+            "fetch_us": (command.fetch_ns - command.submit_ns) / 1000,
+            "service_us": (command.complete_ns - command.fetch_ns) / 1000,
+            "post_us": (command.visible_ns - command.complete_ns) / 1000,
+        }
+        if not completion.ok:
+            args["status"] = str(completion.status)
+        self.tracer.async_end("io", aid, command.opcode, args=args)
+
+    def _on_io_retry(self, completion):
+        self.io_retries += 1
+        command = completion.command
+        self.tracer.instant(
             "io",
-            aid,
-            command.opcode,
+            "retry",
+            cat="io",
             args={
                 "lba": command.lba,
-                "fetch_us": (command.fetch_ns - command.submit_ns) / 1000,
-                "service_us": (command.complete_ns - command.fetch_ns) / 1000,
-                "post_us": (command.visible_ns - command.complete_ns) / 1000,
+                "status": str(completion.status),
+                "attempt": command.retries,
             },
         )
 
@@ -198,6 +225,9 @@ class TraceSession:
     # worker op_observer interface -------------------------------------
 
     def on_op_complete(self, op):
+        if op.error is not None:
+            self.failed_ops += 1
+            return
         histogram = self.op_latency.get(op.kind)
         if histogram is None:
             histogram = self.op_latency[op.kind] = latency_histogram()
@@ -222,7 +252,7 @@ class TraceSession:
         buffer_stats = (
             self._buffer.snapshot() if self._buffer is not None else None
         )
-        return {
+        summary = {
             "buffer": buffer_stats,
             "dispatched_events": self.dispatches,
             "trace_events": len(self.tracer.events),
@@ -240,6 +270,15 @@ class TraceSession:
                 "probes": self.sampler.summary(),
             },
         }
+        # fault-path keys only appear when something actually failed so
+        # fault-free artefacts stay byte-identical to pre-fault builds
+        if self.io_faults or self.io_retries or self.failed_ops:
+            summary["faults"] = {
+                "io_faults": self.io_faults,
+                "io_retries": self.io_retries,
+                "failed_ops": self.failed_ops,
+            }
+        return summary
 
     def write_artifacts(self, prefix):
         """Write ``<prefix>.trace.json`` and ``<prefix>.trace.jsonl``."""

@@ -24,7 +24,12 @@ from repro.core.ops import (
     ST_READY,
     SYNC,
 )
-from repro.errors import SchedulerError
+from repro.errors import (
+    IoError,
+    QueueFullError,
+    RetryExhaustedError,
+    SchedulerError,
+)
 from repro.nvme.command import OP_READ
 from repro.obs.tracer import NULL_TRACER
 from repro.palsm.store import (
@@ -78,6 +83,7 @@ class PolledLsmWorker:
 
         self._internal = deque()
         self._batch_reads = {}  # op seq -> (lbas, {lba: image})
+        self._deferred_escalations = deque()
         self._next_seq = 0
         self._active_seqs = set()
         self.inflight = 0
@@ -86,12 +92,17 @@ class PolledLsmWorker:
         self._cache_hit_cost_ns = usec(0.12)
         self.sched_pick_cost_ns = usec(0.1)
         self.sched_gate_cost_ns = usec(0.1)
+        self.max_write_escalations = 8
 
         self.latencies = LatencyRecorder()
         self.completed = Counter()
         self.user_completed = 0
         self.last_user_done_ns = 0
         self.probes = Counter()
+        self.io_errors = Counter()
+        self.failed_ops = Counter()
+        self.io_escalations = Counter()
+        self.lost_writes = Counter()
         self.worker_thread = None
 
         store.enqueue_internal = self._internal.append
@@ -157,6 +168,13 @@ class PolledLsmWorker:
                     self._admit(op)
                 worked = True
 
+            # re-drive failed writes deferred because the ring was full
+            while self._deferred_escalations and self.qpair.sq.free_slots > 8:
+                deferred = self._deferred_escalations.popleft()
+                yield Cpu(driver.submit_cpu_ns, CPU_NVME)
+                self._resubmit_write(*deferred)
+                worked = True
+
             if policy.ready_count():
                 yield Cpu(policy.pick_cost_ns(), CPU_SCHED)
                 op = policy.pick()
@@ -207,6 +225,7 @@ class PolledLsmWorker:
                 and self.inflight == 0
                 and not self._internal
                 and self._background_outstanding == 0
+                and not self._deferred_escalations
             ):
                 break
 
@@ -352,7 +371,8 @@ class PolledLsmWorker:
         if op.kind in (OP_FLUSH, OP_COMPACT):
             pass  # internal maintenance: invisible to the source
         else:
-            if op.kind not in _INTERNAL_KINDS:
+            if op.kind not in _INTERNAL_KINDS and op.error is None:
+                # goodput only: errored ops have no usable result
                 self.user_completed += 1
                 self.last_user_done_ns = op.done_ns
                 self.latencies.record(op.latency_ns)
@@ -366,11 +386,17 @@ class PolledLsmWorker:
     # completion callbacks (fired from probe, zero virtual time)
     # ------------------------------------------------------------------
 
-    def _on_io_done(self, command):
+    def _on_io_done(self, completion):
+        command = completion.command
         self.io_history.on_complete(command)
+        if not completion.ok:
+            self._on_io_failed(completion)
+            return
         op = command.context
         if command.opcode == OP_READ:
             self.store.cache.put(command.lba, command.data)
+            if op.state is ST_DONE:
+                return  # late completion for an already-aborted op
             batch = self._batch_reads.get(op.seq)
             if batch is not None:
                 lbas, results = batch
@@ -390,16 +416,110 @@ class PolledLsmWorker:
             return
         op.io_remaining -= 1
         if op.io_remaining == 0:
-            op.state = ST_READY
-            self.policy.on_ready(op)
+            if op.error is not None:
+                self._abort_op(op, None)
+            else:
+                op.state = ST_READY
+                self.policy.on_ready(op)
 
-    def _on_background_done(self, command):
+    def _on_background_done(self, completion):
+        command = completion.command
         self.io_history.on_complete(command)
+        if not completion.ok:
+            self.io_errors.add()
+            if command.escalations < self.max_write_escalations:
+                self.io_escalations.add()
+                self._resubmit_write(
+                    command.lba,
+                    command.data,
+                    command.context,
+                    self._on_background_done,
+                    command.escalations + 1,
+                    background=True,
+                )
+                return
+            self.lost_writes.add()
         self._background_outstanding -= 1
         batch = command.context
         batch.remaining -= 1
         if batch.remaining == 0 and batch.on_complete is not None:
             batch.on_complete()
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def _on_io_failed(self, completion):
+        command = completion.command
+        self.io_errors.add()
+        if command.opcode == OP_READ:
+            op = command.context
+            if op is None or op.state is ST_DONE:
+                return
+            op.io_remaining -= 1
+            self._batch_reads.pop(op.seq, None)
+            self._abort_op(op, self._error_from(completion))
+            return
+        # writes must land: the store's in-memory manifest already
+        # accounts for these pages, so re-drive until success or cap
+        if command.escalations < self.max_write_escalations:
+            self.io_escalations.add()
+            self._resubmit_write(
+                command.lba,
+                command.data,
+                command.context,
+                self._on_io_done,
+                command.escalations + 1,
+            )
+            return
+        self.lost_writes.add()
+        op = command.context
+        op.io_remaining -= 1
+        if op.error is None:
+            op.error = self._error_from(completion)
+        if op.io_remaining == 0:
+            self._abort_op(op, None)
+
+    def _error_from(self, completion):
+        command = completion.command
+        status = completion.status
+        cls = RetryExhaustedError if status.retriable else IoError
+        return cls(
+            "%s of lba %d failed with status %s (retries=%d)"
+            % (command.opcode, command.lba, status, command.retries),
+            status=status,
+            opcode=command.opcode,
+            lba=command.lba,
+        )
+
+    def _abort_op(self, op, error):
+        """Terminate ``op`` with a typed error (LSM plans hold no latches)."""
+        if error is not None and op.error is None:
+            op.error = error
+        op.result = None
+        if op.gen is not None:
+            op.gen.close()
+        self.failed_ops.add()
+        if self.tracer.enabled:
+            self.tracer.async_instant(
+                "op", op.seq, "aborted", args={"error": str(op.error)}
+            )
+        self._complete(op)
+
+    def _resubmit_write(
+        self, lba, image, context, callback, escalations, background=False
+    ):
+        try:
+            command = self.driver.write(
+                self.qpair, lba, image, callback=callback, context=context
+            )
+        except QueueFullError:
+            self._deferred_escalations.append(
+                (lba, image, context, callback, escalations, background)
+            )
+            return
+        command.escalations = escalations
+        self.io_history.on_submit(command)
 
     # ------------------------------------------------------------------
     # stats
@@ -414,6 +534,11 @@ class PolledLsmWorker:
             "compactions": self.store.compactions,
             "mean_latency_us": self.latencies.mean_usec(),
             "p99_latency_us": self.latencies.p99_usec(),
+            "io_errors": self.io_errors.value,
+            "failed_ops": self.failed_ops.value,
+            "io_retries": self.driver.retries_scheduled.value,
+            "io_escalations": self.io_escalations.value,
+            "lost_writes": self.lost_writes.value,
         }
 
 

@@ -88,9 +88,6 @@ def train_probe_model(
     rows_y = []
     state = {"rate_per_tick": 1.0, "write_ratio": 0.1, "segment_end": 0}
 
-    def on_complete(command):
-        history.on_complete(command)
-
     def submit_tick():
         if engine.now >= state["segment_end"]:
             state["rate_per_tick"] = rng.uniform(0.0, 0.6)
@@ -117,9 +114,9 @@ def train_probe_model(
         completed = device.probe(qpair, 0)
         writes = 0
         reads = 0
-        for command in completed:
-            history.on_complete(command)
-            if command.is_write:
+        for completion in completed:
+            history.on_complete(completion.command)
+            if completion.is_write:
                 writes += 1
             else:
                 reads += 1

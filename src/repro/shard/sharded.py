@@ -127,6 +127,8 @@ class ShardedPaTree:
         buffer_pages_per_shard=0,
         device_profile=None,
         qpair_size=4096,
+        faults=None,
+        retry=None,
     ):
         if n_shards < 1:
             raise SchedulerError("need at least one shard")
@@ -152,12 +154,15 @@ class ShardedPaTree:
         self.engines = []
         self._sources = []
         for index in range(n_shards):
+            # each shard's device builds its own injector from the
+            # shared fault config, drawing from its own named stream
             device = NvmeDevice(
                 self.engine,
                 self.device_profile,
                 rng_name="nvme-shard-%d" % index,
+                faults=faults,
             )
-            driver = NvmeDriver(device)
+            driver = NvmeDriver(device, retry=retry)
             tree = PaTree.create(device, payload_size=payload_size)
             source = _ShardSource(self)
             worker = PaTreeEngine(
@@ -189,6 +194,7 @@ class ShardedPaTree:
         # once each — scattered parts are invisible here)
         self.latencies = LatencyRecorder()
         self.user_completed = 0
+        self.user_failed = 0
         self.last_user_done_ns = 0
 
     # ------------------------------------------------------------------
@@ -298,17 +304,23 @@ class ShardedPaTree:
             if state.remaining:
                 return
             parent = state.parent
+            for part in state.parts:
+                if part.error is not None:
+                    # a failed part poisons the gathered result: the
+                    # parent carries the first shard error observed
+                    parent.error = part.error
+                    break
             if parent.kind == RANGE:
                 # per-shard results are sorted; a k-way merge restores
                 # global key order (range partitioning scatters in
                 # shard order, so its parts are already concatenable,
                 # but the merge is correct and cheap for both modes)
                 merged = list(
-                    heapq.merge(*(part.result for part in state.parts))
+                    heapq.merge(*(part.result or () for part in state.parts))
                 )
                 if parent.limit:
                     merged = merged[: parent.limit]
-                parent.result = merged
+                parent.result = None if parent.error is not None else merged
             else:  # broadcast sync: total pages flushed
                 parent.result = sum(part.result or 0 for part in state.parts)
             if parent.on_complete is not None:
@@ -319,11 +331,14 @@ class ShardedPaTree:
         if op.done_ns is None:
             op.done_ns = now
         started = self._dispatch_ns.pop(id(op), None)
-        if started is not None:
+        if started is not None and op.error is None:
             self.latencies.record(op.done_ns - started)
         if op.kind != SYNC:
-            self.user_completed += 1
-            self.last_user_done_ns = op.done_ns
+            if op.error is None:
+                self.user_completed += 1
+                self.last_user_done_ns = op.done_ns
+            else:
+                self.user_failed += 1
         self._refill()
 
     def _refill(self):
@@ -421,16 +436,24 @@ class ShardedPaTree:
             shard_stats["shard"] = index
             shard_stats["device_reads"] = device.reads_completed.value
             shard_stats["device_writes"] = device.writes_completed.value
+            shard_stats["device_errors"] = device.errors_completed.value
             per_shard.append(shard_stats)
         return {
             "shards": self.n_shards,
             "partitioning": self.partitioning,
             "completed": sum(s["completed"] for s in per_shard),
             "user_completed": self.user_completed,
+            "user_failed": self.user_failed,
             "probes": sum(s["probes"] for s in per_shard),
             "latch_waits": sum(s["latch_waits"] for s in per_shard),
             "device_reads": sum(s["device_reads"] for s in per_shard),
             "device_writes": sum(s["device_writes"] for s in per_shard),
+            "device_errors": sum(s["device_errors"] for s in per_shard),
+            "io_errors": sum(s["io_errors"] for s in per_shard),
+            "failed_ops": sum(s["failed_ops"] for s in per_shard),
+            "io_retries": sum(s["io_retries"] for s in per_shard),
+            "io_escalations": sum(s["io_escalations"] for s in per_shard),
+            "lost_writes": sum(s["lost_writes"] for s in per_shard),
             "mean_latency_us": self.latencies.mean_usec(),
             "p99_latency_us": self.latencies.p99_usec(),
             "per_shard": per_shard,

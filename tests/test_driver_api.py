@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import QueueFullError
-from repro.nvme.command import OP_READ, OP_WRITE
+from repro.nvme.command import OP_READ, OP_WRITE, IoStatus
 from repro.nvme.device import NvmeDevice, fast_test_profile
 from repro.nvme.driver import NvmeDriver
 from repro.sim.engine import Engine
@@ -22,7 +22,8 @@ class TestDriverApi:
         command = driver.read(qpair, 1)
         # polled-mode contract: submit is non-blocking, clock unmoved
         assert engine.now == 0
-        assert command.status == "submitted"
+        assert command.status is IoStatus.SUBMITTED
+        assert str(command.status) == "submitted"
         assert qpair.outstanding == 1
 
     def test_probe_fires_callbacks_in_completion_order(self):

@@ -1,11 +1,20 @@
 #!/usr/bin/env python
-"""Dependency-free lint: byte-compile + unused-import check.
+"""Dependency-free lint: byte-compile + unused-import + fault-path checks.
 
 The CI image (and the fully-offline dev container) carries no
-third-party linter, so this covers the two classes of rot that
-actually bite a pure-python repo: files that no longer parse, and
-imports left behind by refactors.  ``__init__.py`` files are exempt
-from the unused-import check — re-exporting is their job.
+third-party linter, so this covers the classes of rot that actually
+bite a pure-python repo: files that no longer parse, imports left
+behind by refactors, and — since the status-carrying completion path
+landed — two fault-handling hazards in ``src/``:
+
+* bare ``except:`` clauses, which would swallow typed I/O errors
+  (and KeyboardInterrupt) indiscriminately;
+* comparing a ``.status`` attribute against a string literal, which
+  silently never matches now that statuses are ``IoStatus`` enum
+  members (compare against the enum, or use ``str(status)``).
+
+``__init__.py`` files are exempt from the unused-import check —
+re-exporting is their job.
 
 Usage::
 
@@ -87,6 +96,39 @@ def check_unused_imports(path):
     return problems
 
 
+def _is_status_attribute(node):
+    return isinstance(node, ast.Attribute) and node.attr == "status"
+
+
+def _is_string_literal(node):
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def check_fault_paths(path):
+    """src/-only rules: bare excepts and string-literal status compares."""
+    with open(path, "rb") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(
+                "%s:%d: bare 'except:' swallows typed I/O errors; name "
+                "the exception class" % (path, node.lineno)
+            )
+        elif isinstance(node, ast.Compare):
+            sides = [node.left] + list(node.comparators)
+            has_status = any(_is_status_attribute(side) for side in sides)
+            has_literal = any(_is_string_literal(side) for side in sides)
+            if has_status and has_literal:
+                problems.append(
+                    "%s:%d: '.status' compared against a string literal; "
+                    "statuses are IoStatus enum members — compare against "
+                    "the enum (or str(status))" % (path, node.lineno)
+                )
+    return problems
+
+
 def main(argv=None):
     paths = (argv or sys.argv[1:]) or ["src", "tests", "benchmarks"]
     ok = all(
@@ -97,6 +139,9 @@ def main(argv=None):
     )
     problems = []
     for path in _iter_py_files(paths):
+        normalized = path.replace(os.sep, "/")
+        if normalized.startswith("src/") or "/src/" in normalized:
+            problems.extend(check_fault_paths(path))
         if os.path.basename(path) == "__init__.py":
             continue
         problems.extend(check_unused_imports(path))
