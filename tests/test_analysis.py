@@ -1,0 +1,903 @@
+"""Tests for patlint (tools.analysis): rules, framework, CLI, shim.
+
+Each rule gets inline fixture snippets for the positive, negative and
+suppressed cases; the framework tests cover scoping, suppressions,
+baselines and reporters; and the self-checks pin the acceptance
+invariant that the repository itself analyzes clean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from tools.analysis import analyze
+from tools.analysis.cli import main as patlint_main
+
+
+def run_snippet(tmp_path, code, scope="src", filename="mod.py"):
+    root = tmp_path / scope
+    root.mkdir(exist_ok=True)
+    target = root / filename
+    target.write_text(textwrap.dedent(code))
+    return analyze([str(target)]).findings
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# PA1xx determinism
+# ---------------------------------------------------------------------------
+
+
+def test_pa101_wall_clock_direct(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import time
+
+        def now():
+            return time.time()
+        """,
+    )
+    assert codes(findings) == ["PA101"]
+    assert "time.time" in findings[0].message
+
+
+def test_pa101_wall_clock_alias_and_from_import(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import time as t
+        from time import perf_counter
+
+        def now():
+            return t.monotonic() + perf_counter()
+        """,
+    )
+    assert codes(findings) == ["PA101", "PA101"]
+
+
+def test_pa101_datetime_now(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """,
+    )
+    assert codes(findings) == ["PA101"]
+
+
+def test_pa101_negative_virtual_clock(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def now(engine):
+            return engine.now
+        """,
+    )
+    assert findings == []
+
+
+def test_pa101_suppressed(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import time
+
+        def now():
+            return time.time()  # patlint: ignore[PA101]
+        """,
+    )
+    assert findings == []
+
+
+def test_pa101_not_checked_outside_src(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import time
+
+        def now():
+            return time.time()
+        """,
+        scope="tests",
+    )
+    assert findings == []
+
+
+def test_pa102_module_level_random(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import random
+
+        def draw():
+            return random.randint(0, 7)
+        """,
+    )
+    assert codes(findings) == ["PA102"]
+
+
+def test_pa102_urandom_and_uuid(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import os
+        import uuid
+
+        def token():
+            return os.urandom(8), uuid.uuid4()
+        """,
+    )
+    assert codes(findings) == ["PA102", "PA102"]
+
+
+def test_pa102_allows_seeded_random_instances(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import random
+
+        def stream(seed):
+            return random.Random(seed)
+        """,
+    )
+    assert findings == []
+
+
+def test_pa103_sort_keyed_on_id(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def order(nodes):
+            return sorted(nodes, key=id)
+
+        def order_lambda(nodes):
+            nodes.sort(key=lambda node: id(node))
+        """,
+    )
+    assert codes(findings) == ["PA103", "PA103"]
+
+
+def test_pa103_negative_stable_key(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def order(nodes):
+            return sorted(nodes, key=lambda node: node.page_id)
+        """,
+    )
+    assert findings == []
+
+
+def test_pa110_set_iteration(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def emit(counts):
+            return [key for key in set(counts)]
+        """,
+    )
+    assert codes(findings) == ["PA110"]
+
+
+def test_pa110_for_loop_over_set_literal(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def walk():
+            for kind in {"read", "write"}:
+                print(kind)
+        """,
+    )
+    assert codes(findings) == ["PA110"]
+
+
+def test_pa110_sorted_wrapper_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def emit(counts):
+            return [key for key in sorted(set(counts))]
+        """,
+    )
+    assert findings == []
+
+
+def test_pa110_emit_context_set_local(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        class Worker:
+            def stats(self):
+                pages = set(self._dirty)
+                out = {}
+                for page in pages:
+                    out[page] = 1
+                return out
+        """,
+    )
+    assert codes(findings) == ["PA110"]
+    assert "'pages'" in findings[0].message
+
+
+def test_pa110_non_emit_function_local_not_tracked(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def prefetch(self):
+            pages = set(self._dirty)
+            for page in pages:
+                self.load(page)
+        """,
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PA2xx virtual-time discipline
+# ---------------------------------------------------------------------------
+
+
+def test_pa201_real_sleep(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import time
+
+        def wait():
+            time.sleep(0.1)
+        """,
+    )
+    assert codes(findings) == ["PA201"]
+
+
+def test_pa202_threading_import(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        def spin():
+            return threading.Thread(target=ThreadPoolExecutor)
+        """,
+    )
+    assert codes(findings) == ["PA202", "PA202"]
+
+
+def test_pa203_asyncio_and_native_async(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import asyncio
+
+        async def poll():
+            return asyncio.get_event_loop()
+        """,
+    )
+    assert codes(findings) == ["PA203", "PA203"]
+
+
+# ---------------------------------------------------------------------------
+# PA3xx fault-path hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_pa301_bare_except(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def probe(driver):
+            try:
+                return driver.probe()
+            except:
+                return None
+        """,
+    )
+    assert codes(findings) == ["PA301"]
+
+
+def test_pa301_named_except_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def probe(driver):
+            try:
+                return driver.probe()
+            except ValueError:
+                return None
+        """,
+    )
+    assert findings == []
+
+
+def test_pa301_relaxed_in_tests_scope(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def probe(driver):
+            try:
+                return driver.probe()
+            except:
+                return None
+        """,
+        scope="tests",
+    )
+    assert findings == []
+
+
+def test_pa302_status_string_compare(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def ok(command):
+            return command.status == "completed"
+        """,
+    )
+    assert codes(findings) == ["PA302"]
+
+
+def test_pa302_enum_compare_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from repro.nvme.command import IoStatus
+
+        def ok(command):
+            return command.status is IoStatus.SUCCESS
+        """,
+    )
+    assert findings == []
+
+
+def test_pa303_non_exhaustive_dispatch(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from repro.nvme.command import IoStatus
+
+        def classify(completion):
+            if completion.status is IoStatus.SUCCESS:
+                return "ok"
+            elif completion.status is IoStatus.MEDIA_ERROR:
+                return "retry"
+        """,
+    )
+    assert codes(findings) == ["PA303"]
+    for member in ("PENDING", "SUBMITTED", "UNRECOVERED_READ"):
+        assert member in findings[0].message
+
+
+def test_pa303_exhaustive_dispatch_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from repro.nvme.command import IoStatus
+
+        def classify(completion):
+            if completion.status is IoStatus.SUCCESS:
+                return "ok"
+            elif completion.status is IoStatus.MEDIA_ERROR:
+                return "retry"
+            elif completion.status in (
+                IoStatus.PENDING,
+                IoStatus.SUBMITTED,
+                IoStatus.UNRECOVERED_READ,
+            ):
+                return "other"
+        """,
+    )
+    assert findings == []
+
+
+def test_pa303_else_arm_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from repro.nvme.command import IoStatus
+
+        def classify(completion):
+            if completion.status is IoStatus.SUCCESS:
+                return "ok"
+            elif completion.status is IoStatus.MEDIA_ERROR:
+                return "retry"
+            else:
+                return "other"
+        """,
+    )
+    assert findings == []
+
+
+def test_pa303_single_if_guard_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from repro.nvme.command import IoStatus
+
+        def guard(completion):
+            if completion.status is IoStatus.MEDIA_ERROR:
+                return "retry"
+        """,
+    )
+    assert findings == []
+
+
+def test_pa303_mixed_chain_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from repro.nvme.command import IoStatus
+
+        def classify(completion, deadline):
+            if completion.status is IoStatus.SUCCESS:
+                return "ok"
+            elif deadline.expired:
+                return "late"
+        """,
+    )
+    assert findings == []
+
+
+def test_pa303_uses_members_from_analyzed_class(tmp_path):
+    # the fixture defines its own (smaller) IoStatus, so the model is
+    # derived from it: the two-arm chain is exhaustive, but PA304
+    # reports the drift from patlint's fallback member list.
+    findings = run_snippet(
+        tmp_path,
+        """
+        import enum
+
+        class IoStatus(enum.Enum):
+            OK = "ok"
+            BAD = "bad"
+
+        def classify(completion):
+            if completion.status is IoStatus.OK:
+                return "ok"
+            elif completion.status is IoStatus.BAD:
+                return "bad"
+        """,
+    )
+    assert codes(findings) == ["PA304"]
+
+
+# ---------------------------------------------------------------------------
+# PA4xx API contracts
+# ---------------------------------------------------------------------------
+
+
+def test_pa401_stats_by_reference(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        class Worker:
+            def stats(self):
+                return self._stats
+        """,
+    )
+    assert codes(findings) == ["PA401"]
+
+
+def test_pa401_fresh_copy_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        class Worker:
+            def stats(self):
+                return dict(self._stats)
+
+            def snapshot(self):
+                return {"completed": self._completed}
+        """,
+    )
+    assert findings == []
+
+
+def test_pa401_only_stats_style_names(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        class Worker:
+            def raw_handle(self):
+                return self._stats
+        """,
+    )
+    assert findings == []
+
+
+def test_pa402_unused_import_full_dotted_name(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import os.path
+
+        VALUE = 1
+        """,
+    )
+    assert codes(findings) == ["PA402"]
+    assert "'os.path'" in findings[0].message
+
+
+def test_pa402_submodule_import_used_via_root(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import os.path
+
+        def join(a, b):
+            return os.path.join(a, b)
+        """,
+    )
+    assert findings == []
+
+
+def test_pa402_string_annotation_counts_as_use(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from repro.nvme.command import Completion
+
+        def handle(completion: "Completion") -> "Completion":
+            return completion
+        """,
+    )
+    assert findings == []
+
+
+def test_pa402_nested_string_annotation_counts_as_use(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from typing import Optional, TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from repro.faults import FaultConfig
+
+        def configure(config: Optional["FaultConfig"] = None):
+            return config
+        """,
+    )
+    assert findings == []
+
+
+def test_pa402_assignment_does_not_count_as_use(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from os import sep
+
+        sep = "/"
+        """,
+    )
+    assert codes(findings) == ["PA402"]
+
+
+def test_pa402_dunder_all_counts_as_use(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from os import sep
+
+        __all__ = ["sep"]
+        """,
+    )
+    assert findings == []
+
+
+def test_pa402_init_module_exempt(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        from os import sep
+        """,
+        filename="__init__.py",
+    )
+    assert findings == []
+
+
+def test_pa402_applies_in_tests_scope(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import os
+
+        VALUE = 1
+        """,
+        scope="tests",
+    )
+    assert codes(findings) == ["PA402"]
+
+
+# ---------------------------------------------------------------------------
+# framework: suppressions, parse failures, baseline, reporters
+# ---------------------------------------------------------------------------
+
+
+def test_pa901_stale_suppression(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def clean():
+            return 1  # patlint: ignore[PA101]
+        """,
+    )
+    assert codes(findings) == ["PA901"]
+    assert "PA101" in findings[0].message
+
+
+def test_pa901_malformed_pragma(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def clean():
+            return 1  # patlint: ignore everything
+        """,
+    )
+    assert codes(findings) == ["PA901"]
+
+
+def test_suppression_covers_only_named_codes(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import time
+
+        def now():
+            return time.sleep(1)  # patlint: ignore[PA101]
+        """,
+    )
+    # time.sleep is PA201; the PA101 pragma silences nothing -> stale.
+    assert sorted(codes(findings)) == ["PA201", "PA901"]
+
+
+def test_multi_code_suppression(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import time
+
+        def now():
+            return time.time()  # patlint: ignore[PA101, PA999]
+        """,
+    )
+    # PA101 suppressed; the PA999 half matched nothing -> stale.
+    assert codes(findings) == ["PA901"]
+
+
+def test_pa902_syntax_error(tmp_path):
+    findings = run_snippet(tmp_path, "def broken(:\n    pass\n")
+    assert codes(findings) == ["PA902"]
+
+
+def test_cli_exit_codes_for_seeded_violations(tmp_path, capsys):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def now():
+                return time.time()
+            """
+        )
+    )
+    exit_code = patlint_main([str(bad), "--no-baseline", "--no-compile"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "PA101" in out
+
+    good = tmp_path / "src" / "good.py"
+    good.write_text("def now(engine):\n    return engine.now\n")
+    assert patlint_main([str(good), "--no-baseline", "--no-compile"]) == 0
+
+
+def test_cli_json_reporter_schema(tmp_path, capsys):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    exit_code = patlint_main(
+        [str(bad), "--format", "json", "--no-baseline", "--no-compile"]
+    )
+    document = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert document["tool"] == "patlint"
+    assert document["summary"]["new"] == 1
+    assert document["summary"]["files"] == 1
+    (finding,) = document["findings"]
+    assert finding["code"] == "PA101"
+    assert finding["baselined"] is False
+    assert finding["line"] == 5
+
+
+def test_baseline_grandfathers_and_catches_new(tmp_path, capsys):
+    target = tmp_path / "src" / "legacy.py"
+    target.parent.mkdir()
+    target.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    baseline_path = tmp_path / "baseline.json"
+    assert (
+        patlint_main(
+            [
+                str(target),
+                "--write-baseline",
+                "--baseline",
+                str(baseline_path),
+                "--no-compile",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    # the grandfathered finding no longer fails the run...
+    assert (
+        patlint_main(
+            [str(target), "--baseline", str(baseline_path), "--no-compile"]
+        )
+        == 0
+    )
+    assert "baselined" in capsys.readouterr().out
+
+    # ...but a new violation alongside it does.
+    target.write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n"
+        "\n\ndef g():\n    return time.perf_counter()\n"
+    )
+    assert (
+        patlint_main(
+            [str(target), "--baseline", str(baseline_path), "--no-compile"]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "perf_counter" in out
+
+
+def test_select_filters_reported_codes(tmp_path, capsys):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        "import time\nimport os.path\n\n\ndef f():\n    return time.time()\n"
+    )
+    exit_code = patlint_main(
+        [str(bad), "--select", "PA4", "--no-baseline", "--no-compile"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "PA402" in out and "PA101" not in out
+
+
+# ---------------------------------------------------------------------------
+# self-checks and the legacy shim
+# ---------------------------------------------------------------------------
+
+
+def test_analyzer_analyzes_its_own_package_cleanly():
+    result = analyze([os.path.join(REPO_ROOT, "tools")])
+    assert result.findings == []
+
+
+def test_repository_self_run_is_clean():
+    """The acceptance invariant: src+tests+benchmarks, empty baseline."""
+    paths = [os.path.join(REPO_ROOT, name) for name in ("src", "tests", "benchmarks")]
+    result = analyze(paths)
+    assert result.findings == []
+
+
+def test_lint_shim_still_works(tmp_path):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("def f(x):\n    return x.status == 'completed'\n")
+    proc = subprocess.run(
+        [sys.executable, "tools/lint.py", str(bad)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "PA302" in proc.stdout
+
+    good = tmp_path / "src" / "good.py"
+    good.write_text("def f(x):\n    return x\n")
+    proc = subprocess.run(
+        [sys.executable, "tools/lint.py", str(good)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_byte_compile_leaves_no_pycache(tmp_path):
+    target = tmp_path / "src" / "clean.py"
+    target.parent.mkdir()
+    target.write_text("def f(x):\n    return x\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.analysis", str(target)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    litter = [
+        os.path.join(dirpath, name)
+        for dirpath, dirnames, _files in os.walk(tmp_path)
+        for name in dirnames
+        if name == "__pycache__"
+    ]
+    assert litter == []
+
+
+def test_list_rules_catalog(capsys):
+    assert patlint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in (
+        "PA101",
+        "PA102",
+        "PA103",
+        "PA110",
+        "PA201",
+        "PA202",
+        "PA203",
+        "PA301",
+        "PA302",
+        "PA303",
+        "PA304",
+        "PA401",
+        "PA402",
+        "PA901",
+        "PA902",
+    ):
+        assert code in out
+
+
+@pytest.mark.parametrize(
+    "snippet,expected",
+    [
+        ("import time\n\n\ndef f():\n    return time.time()\n", "PA101"),
+        (
+            "def stats(c):\n    return [k for k in set(c)]\n",
+            "PA110",
+        ),
+        (
+            "def f(d):\n    try:\n        return d.probe()\n"
+            "    except:\n        return None\n",
+            "PA301",
+        ),
+        (
+            "from repro.nvme.command import IoStatus\n\n\n"
+            "def f(c):\n    if c.status is IoStatus.SUCCESS:\n"
+            "        return 1\n    elif c.status is IoStatus.MEDIA_ERROR:\n"
+            "        return 2\n",
+            "PA303",
+        ),
+    ],
+)
+def test_seeded_violation_fails_with_expected_code(
+    tmp_path, capsys, snippet, expected
+):
+    """One seeded violation per acceptance rule class exits nonzero."""
+    target = tmp_path / "src" / "seeded.py"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(snippet)
+    exit_code = patlint_main([str(target), "--no-baseline", "--no-compile"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert expected in out

@@ -1,0 +1,1 @@
+"""Repository tooling namespace (makes ``python -m tools.analysis`` work)."""

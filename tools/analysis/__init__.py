@@ -1,0 +1,34 @@
+"""patlint: multi-pass determinism & fault-path static analyzer.
+
+A dependency-free framework purpose-built for this reproduction: one
+shared AST walk per file feeds a registry of rules with stable codes —
+
+* ``PA1xx`` determinism (wall clock, ambient entropy, unordered
+  iteration into emitted output),
+* ``PA2xx`` virtual-time discipline (no threading/asyncio/real sleep
+  in the simulator core),
+* ``PA3xx`` fault-path hygiene (bare excepts, string status compares,
+  non-exhaustive ``IoStatus`` dispatch),
+* ``PA4xx`` API contracts (stats-by-reference, unused imports),
+* ``PA9xx`` framework findings (stale suppressions, parse failures).
+
+Run it with ``python -m tools.analysis [paths...]`` or programmatically
+via :func:`analyze`.  See the README's "Static analysis" section for
+the rule catalog, suppression syntax and baseline workflow.
+"""
+
+from .framework import Finding, Result, Rule, analyze_paths
+from .rules import all_rules
+
+__version__ = "1.0.0"
+
+__all__ = ["Finding", "Result", "Rule", "analyze", "all_rules", "__version__"]
+
+
+def analyze(paths, rules=None):
+    """Analyze ``paths`` and return a :class:`Result`.
+
+    ``rules`` defaults to the full registry; pass a subset of rule
+    instances to run selected rules only.
+    """
+    return analyze_paths(paths, all_rules() if rules is None else rules)

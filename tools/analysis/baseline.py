@@ -1,0 +1,67 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+A baseline entry matches on ``(code, path, stripped source line)``
+rather than on line numbers, so unrelated edits above a grandfathered
+finding do not invalidate it.  ``count`` bounds how many identical
+findings an entry absorbs; anything beyond the budget is new and fails.
+
+The committed baseline (``tools/analysis/baseline.json``) is empty —
+``src/`` is clean — and should stay that way; ``--write-baseline``
+exists for bootstrapping a rule that lands with pre-existing debt.
+"""
+
+import json
+import os
+from collections import Counter
+
+DEFAULT_BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baseline.json"
+)
+
+_EMPTY = {"version": 1, "findings": []}
+
+
+def load(path):
+    if not os.path.exists(path):
+        return dict(_EMPTY)
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _key(finding):
+    return (finding.code, finding.path, finding.line_text)
+
+
+def partition(findings, document):
+    """Split findings into (new, grandfathered) against a baseline doc."""
+    budget = {}
+    for entry in document.get("findings", ()):
+        key = (entry["code"], entry["path"], entry.get("content", ""))
+        budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+    new = []
+    grandfathered = []
+    for finding in findings:
+        key = _key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            finding.baselined = True
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered
+
+
+def write(findings, path):
+    """Write a baseline absorbing exactly the given findings."""
+    counts = Counter(_key(finding) for finding in findings)
+    document = {
+        "version": 1,
+        "findings": [
+            {"code": code, "path": file_path, "content": content, "count": count}
+            for (code, file_path, content), count in sorted(counts.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document

@@ -1,0 +1,141 @@
+"""patlint command line: ``python -m tools.analysis [paths...]``.
+
+Exit codes: 0 clean (or every finding baselined), 1 findings or byte-
+compile failure, 2 usage errors (argparse).  Byte-compilation runs with
+``sys.pycache_prefix`` pointed at a throwaway directory so an analysis
+run never litters the working tree with ``__pycache__``.
+"""
+
+import argparse
+import compileall
+import os
+import sys
+import tempfile
+
+from . import analyze
+from . import baseline as baseline_module
+from .reporters import render_json, render_text
+from .rules import FRAMEWORK_CODES, RULE_CLASSES
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def _byte_compile(paths):
+    """Parse-and-compile every file, caching bytecode outside the tree."""
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="patlint-pycache-") as cache_dir:
+        previous_prefix = sys.pycache_prefix
+        sys.pycache_prefix = cache_dir
+        try:
+            for path in paths:
+                if os.path.isdir(path):
+                    ok = compileall.compile_dir(path, quiet=1) and ok
+                elif os.path.isfile(path):
+                    ok = compileall.compile_file(path, quiet=1) and ok
+                else:
+                    print("patlint: no such path: %s" % path, file=sys.stderr)
+                    ok = False
+        finally:
+            sys.pycache_prefix = previous_prefix
+    return ok
+
+
+def _print_rule_catalog():
+    rows = [
+        (cls.code, cls.name, cls.summary, ",".join(cls.scopes))
+        for cls in RULE_CLASSES
+    ]
+    rows.extend(FRAMEWORK_CODES)
+    width = max(len(row[1]) for row in rows)
+    for code, name, summary, scopes in rows:
+        print("%s  %-*s  %s  [%s]" % (code, width, name, summary, scopes))
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="patlint: determinism & fault-path static analysis "
+        "for the PA-Tree reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: %s)"
+        % " ".join(DEFAULT_PATHS),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=baseline_module.DEFAULT_BASELINE_PATH,
+        help="baseline file of grandfathered findings "
+        "(default: tools/analysis/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="PREFIXES",
+        help="comma-separated code prefixes to report (e.g. PA1,PA301)",
+    )
+    parser.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="skip the byte-compilation pass",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rule_catalog()
+        return 0
+    paths = list(args.paths) or list(DEFAULT_PATHS)
+    compiled_ok = True if args.no_compile else _byte_compile(paths)
+    result = analyze(paths)
+    findings = result.findings
+    if args.select:
+        prefixes = tuple(
+            prefix.strip() for prefix in args.select.split(",") if prefix.strip()
+        )
+        findings = [f for f in findings if f.code.startswith(prefixes)]
+    if args.write_baseline:
+        document = baseline_module.write(findings, args.baseline)
+        print(
+            "patlint: wrote %d baseline entr%s to %s"
+            % (
+                len(document["findings"]),
+                "y" if len(document["findings"]) == 1 else "ies",
+                args.baseline,
+            )
+        )
+        return 0
+    if args.no_baseline:
+        document = {"version": 1, "findings": []}
+    else:
+        document = baseline_module.load(args.baseline)
+    new, grandfathered = baseline_module.partition(findings, document)
+    if args.format == "json":
+        render_json(new, grandfathered, result.files)
+    else:
+        render_text(new, grandfathered, result.files)
+    return 1 if (new or not compiled_ok) else 0

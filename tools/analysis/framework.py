@@ -1,0 +1,394 @@
+"""patlint core: file loading, path scoping, suppressions and rule driving.
+
+The framework is deliberately dependency-free (``ast`` + ``tokenize``
+only) because the CI image and the offline dev container carry no
+third-party linter.  It parses every file once, builds a small project
+model from the parsed trees (currently: the ``IoStatus`` member list),
+and then drives a registry of rule instances over a single AST walk per
+file.  Rules declare which node types they want and which *path scopes*
+they apply to, so ``src/`` is checked strictly while ``tests/`` and
+``benchmarks/`` only get the relaxed subset.
+
+Suppression syntax::
+
+    something_noisy()  # patlint: ignore[PA101]
+    other_thing()      # patlint: ignore[PA110, PA402]
+
+A suppression must sit on the reported line and name the exact codes it
+silences; a suppression that silences nothing is itself reported
+(``PA901``) so stale pragmas cannot accumulate.
+"""
+
+import ast
+import io
+import os
+import re
+import tokenize
+
+#: Fallback member list for the ``IoStatus`` exhaustiveness rule, used
+#: when ``repro/nvme/command.py`` is not part of the analyzed file set.
+#: ``PA304`` fires if the real class def ever drifts from this tuple.
+DEFAULT_IO_STATUS_MEMBERS = (
+    "PENDING",
+    "SUBMITTED",
+    "SUCCESS",
+    "MEDIA_ERROR",
+    "UNRECOVERED_READ",
+)
+
+#: Path scopes a rule can opt into.  ``src`` is the simulator core and
+#: is checked strictly; the rest get the relaxed subset each rule
+#: declares.
+ALL_SCOPES = ("src", "tests", "benchmarks", "tools", "other")
+
+_SCOPE_MARKERS = ("src", "tests", "benchmarks", "tools")
+
+_SUPPRESS_RE = re.compile(r"#\s*patlint:\s*ignore\[([A-Za-z0-9_,\s]*)\]")
+_PRAGMA_RE = re.compile(r"#\s*patlint:")
+
+
+def classify_path(path):
+    """Map a file path onto one of :data:`ALL_SCOPES` by its segments."""
+    parts = [part for part in path.replace(os.sep, "/").split("/") if part]
+    for marker in _SCOPE_MARKERS:
+        if marker in parts:
+            return marker
+    return "other"
+
+
+def walk_shallow(root):
+    """Yield ``root``'s subtree without descending into nested defs.
+
+    Function-local rules (emit-context iteration tracking, return-value
+    checks) must not confuse a closure's body with the enclosing
+    function's, so this walker stops at nested function/class scopes.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+class Finding:
+    """One reported problem, addressable by (path, line, col, code)."""
+
+    __slots__ = ("path", "line", "col", "code", "message", "line_text", "baselined")
+
+    def __init__(self, path, line, col, code, message, line_text=""):
+        self.path = path.replace(os.sep, "/")
+        self.line = line
+        self.col = col
+        self.code = code
+        self.message = message
+        self.line_text = line_text
+        self.baselined = False
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self):
+        return "%s:%d:%d: %s %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.code,
+            self.message,
+        )
+
+    def as_dict(self):
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def __repr__(self):
+        return "Finding(%s)" % self.render()
+
+
+class Rule:
+    """Base class for patlint rules.
+
+    Subclasses set the class attributes and implement :meth:`visit`
+    (called once per AST node whose type is in ``node_types``) and/or
+    :meth:`end_file` (called once per file, after the walk).  Both are
+    generators of :class:`Finding`.
+    """
+
+    code = "PA000"
+    name = "unnamed"
+    summary = ""
+    scopes = ("src",)
+    node_types = ()
+
+    def visit(self, node, ctx):
+        return ()
+
+    def end_file(self, ctx):
+        return ()
+
+
+class ProjectModel:
+    """Facts about the analyzed tree that rules consult."""
+
+    def __init__(self, io_status_members=None):
+        self.io_status_members = tuple(io_status_members or DEFAULT_IO_STATUS_MEMBERS)
+
+
+def enum_member_names(classdef):
+    """Uppercase-style value assignments in an enum class body."""
+    members = []
+    for stmt in classdef.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and not stmt.targets[0].id.startswith("_")
+        ):
+            members.append(stmt.targets[0].id)
+    return tuple(members)
+
+
+def build_model(contexts):
+    """Derive the project model from the parsed file set."""
+    for ctx in contexts:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "IoStatus":
+                members = enum_member_names(node)
+                if members:
+                    return ProjectModel(members)
+    return ProjectModel()
+
+
+class _Suppression:
+    __slots__ = ("codes", "used", "malformed")
+
+    def __init__(self, codes, malformed=False):
+        self.codes = codes
+        self.used = set()
+        self.malformed = malformed
+
+
+def parse_suppressions(source):
+    """Map line number -> :class:`_Suppression` for ``# patlint:`` pragmas."""
+    suppressions = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        return suppressions
+    for lineno, text in comments:
+        if not _PRAGMA_RE.search(text):
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            suppressions[lineno] = _Suppression(frozenset(), malformed=True)
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        suppressions[lineno] = _Suppression(codes, malformed=not codes)
+    return suppressions
+
+
+class FileContext:
+    """Everything rules need to know about one parsed file."""
+
+    def __init__(self, path, source, tree):
+        self.path = path.replace(os.sep, "/")
+        self.scope = classify_path(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.model = ProjectModel()
+        self.suppressions = parse_suppressions(source)
+        self.import_map = build_import_map(tree)
+        self._parents = None
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        source = raw.decode("utf-8")
+        tree = ast.parse(source, filename=path)
+        return cls(path, source, tree)
+
+    def parent(self, node):
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[id(child)] = outer
+        return self._parents.get(id(node))
+
+    def resolve(self, node):
+        """Dotted origin of a Name/Attribute chain, alias-aware.
+
+        ``import time as t; t.perf_counter`` resolves to
+        ``"time.perf_counter"``; returns ``None`` when the chain does
+        not bottom out in a plain name (e.g. a method on a call result).
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.import_map.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def line_text(self, lineno):
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, node, code, message):
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(self.path, line, col, code, message, self.line_text(line))
+
+
+def build_import_map(tree):
+    """Local binding name -> dotted module/object it refers to."""
+    mapping = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                continue  # relative: project-internal, never a deny-list hit
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = module + "." + alias.name if module else alias.name
+    return mapping
+
+
+def iter_py_files(paths):
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name != "__pycache__" and not name.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+class Result:
+    """Outcome of one analysis run."""
+
+    __slots__ = ("findings", "files")
+
+    def __init__(self, findings, files):
+        self.findings = findings
+        self.files = files
+
+
+def run_rules(ctx, rules):
+    """Run every scope-applicable rule over one file's AST, once."""
+    active = [rule for rule in rules if ctx.scope in rule.scopes]
+    dispatch = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    raw = []
+    if dispatch:
+        for node in ast.walk(ctx.tree):
+            for rule in dispatch.get(type(node), ()):
+                raw.extend(rule.visit(node, ctx))
+    for rule in active:
+        raw.extend(rule.end_file(ctx))
+    return apply_suppressions(ctx, raw)
+
+
+def apply_suppressions(ctx, raw):
+    """Filter suppressed findings; report stale or malformed pragmas."""
+    kept = []
+    for finding in raw:
+        entry = ctx.suppressions.get(finding.line)
+        if entry is not None and finding.code in entry.codes:
+            entry.used.add(finding.code)
+            continue
+        kept.append(finding)
+    for lineno in sorted(ctx.suppressions):
+        entry = ctx.suppressions[lineno]
+        if entry.malformed:
+            kept.append(
+                Finding(
+                    ctx.path,
+                    lineno,
+                    0,
+                    "PA901",
+                    "unparseable patlint pragma; expected "
+                    "'# patlint: ignore[PAnnn, ...]'",
+                    ctx.line_text(lineno),
+                )
+            )
+            continue
+        for code in sorted(entry.codes - entry.used):
+            kept.append(
+                Finding(
+                    ctx.path,
+                    lineno,
+                    0,
+                    "PA901",
+                    "suppression for %s matched no finding on this line; "
+                    "remove the stale pragma" % code,
+                    ctx.line_text(lineno),
+                )
+            )
+    return kept
+
+
+def analyze_paths(paths, rules):
+    """Analyze every ``.py`` file under ``paths`` with ``rules``."""
+    contexts = []
+    findings = []
+    files = 0
+    for path in iter_py_files(paths):
+        files += 1
+        try:
+            contexts.append(FileContext.load(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path,
+                    exc.lineno or 1,
+                    max((exc.offset or 1) - 1, 0),
+                    "PA902",
+                    "file does not parse: %s" % exc.msg,
+                )
+            )
+    model = build_model(contexts)
+    for ctx in contexts:
+        ctx.model = model
+        findings.extend(run_rules(ctx, rules))
+    findings.sort(key=Finding.sort_key)
+    return Result(findings, files)

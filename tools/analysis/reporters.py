@@ -1,0 +1,53 @@
+"""Text and JSON reporters for patlint findings."""
+
+import json
+import sys
+
+
+def render_text(new, grandfathered, files, out=None):
+    out = out if out is not None else sys.stdout
+    for finding in new:
+        print(finding.render(), file=out)
+    if new:
+        print(
+            "patlint: %d finding(s) across %d file(s)%s"
+            % (
+                len(new),
+                files,
+                " (%d baselined)" % len(grandfathered) if grandfathered else "",
+            ),
+            file=out,
+        )
+    else:
+        print(
+            "patlint: clean (%d file(s)%s)"
+            % (
+                files,
+                ", %d baselined finding(s)" % len(grandfathered)
+                if grandfathered
+                else "",
+            ),
+            file=out,
+        )
+
+
+def render_json(new, grandfathered, files, out=None):
+    out = out if out is not None else sys.stdout
+    document = {
+        "tool": "patlint",
+        "schema_version": 1,
+        "summary": {
+            "files": files,
+            "findings": len(new) + len(grandfathered),
+            "new": len(new),
+            "baselined": len(grandfathered),
+        },
+        "findings": [
+            finding.as_dict()
+            for finding in sorted(
+                list(new) + list(grandfathered), key=lambda f: f.sort_key()
+            )
+        ],
+    }
+    json.dump(document, out, indent=2)
+    out.write("\n")

@@ -1,0 +1,50 @@
+"""Rule registry.
+
+Every concrete rule class is listed in :data:`RULE_CLASSES`;
+:func:`all_rules` hands fresh instances to the framework so state never
+leaks between analysis runs.  ``PA9xx`` codes are emitted by the
+framework itself (stale suppressions, parse failures) and are listed in
+:data:`FRAMEWORK_CODES` so ``--list-rules`` shows the full catalog.
+"""
+
+from .determinism import (
+    AmbientEntropyRule,
+    IdOrderingRule,
+    UnorderedIterationRule,
+    WallClockRule,
+)
+from .virtual_time import AsyncConstructRule, RealSleepRule, ThreadingRule
+from .fault_paths import (
+    BareExceptRule,
+    IoStatusDispatchRule,
+    IoStatusModelRule,
+    StatusStringCompareRule,
+)
+from .api_contracts import StatsByReferenceRule, UnusedImportRule
+
+RULE_CLASSES = (
+    WallClockRule,
+    AmbientEntropyRule,
+    IdOrderingRule,
+    UnorderedIterationRule,
+    RealSleepRule,
+    ThreadingRule,
+    AsyncConstructRule,
+    BareExceptRule,
+    StatusStringCompareRule,
+    IoStatusDispatchRule,
+    IoStatusModelRule,
+    StatsByReferenceRule,
+    UnusedImportRule,
+)
+
+#: Codes minted by the framework rather than by a rule class.
+FRAMEWORK_CODES = (
+    ("PA901", "stale-suppression", "patlint pragma that silences nothing", "all"),
+    ("PA902", "parse-failure", "file does not parse", "all"),
+)
+
+
+def all_rules():
+    """Fresh rule instances for one analysis run."""
+    return [cls() for cls in RULE_CLASSES]

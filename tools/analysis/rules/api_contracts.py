@@ -1,0 +1,146 @@
+"""PA4xx: API contracts.
+
+``stats()``-style accessors promise a fresh dict per call (the Session
+API documents it; harnesses diff two snapshots for a window), and the
+unused-import check keeps refactor debris out of the whole tree.  The
+import rule is annotation-aware: names referenced only inside string
+type annotations (including imports under ``if TYPE_CHECKING:``) count
+as used, and ``import a.b`` is reported under its full dotted name.
+"""
+
+import ast
+import os
+
+from ..framework import Rule, walk_shallow
+
+_STATS_NAMES = frozenset({"stats", "counters", "metrics", "snapshot"})
+
+
+class StatsByReferenceRule(Rule):
+    code = "PA401"
+    name = "stats-by-reference"
+    summary = "stats()-style method returns an attribute by reference"
+    scopes = ("src",)
+    node_types = (ast.FunctionDef,)
+
+    def visit(self, node, ctx):
+        if node.name not in _STATS_NAMES:
+            return
+        args = node.args.args
+        if not args or args[0].arg != "self":
+            return
+        for sub in walk_shallow(node):
+            if not isinstance(sub, ast.Return):
+                continue
+            value = sub.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                yield ctx.finding(
+                    value,
+                    self.code,
+                    "%s() returns self.%s by reference; return a fresh copy "
+                    "(dict(...) / .copy()) so callers cannot mutate internal "
+                    "state" % (node.name, value.attr),
+                )
+
+
+def _import_bindings(tree):
+    """(binding name, lineno, display name) per import binding."""
+    bindings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                bindings.append((name, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                display = prefix + "." + alias.name if prefix else alias.name
+                bindings.append((name, node.lineno, display))
+    return bindings
+
+
+def _annotation_string_names(tree):
+    """Names referenced inside string type annotations."""
+    annotations = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                annotations.append(node.returns)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            annotations.append(node.annotation)
+        elif isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+    names = set()
+    for annotation in annotations:
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                try:
+                    parsed = ast.parse(sub.value.strip(), mode="eval")
+                except (SyntaxError, ValueError):
+                    continue
+                for name_node in ast.walk(parsed):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+    return names
+
+
+def _dunder_all_names(tree):
+    """Strings listed in a module-level ``__all__`` assignment."""
+    names = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "__all__" not in targets:
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple, ast.Set)):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names.add(element.value)
+    return names
+
+
+class UnusedImportRule(Rule):
+    code = "PA402"
+    name = "unused-import"
+    summary = "import binding never read"
+    scopes = ("src", "tests", "benchmarks", "tools", "other")
+    node_types = ()
+
+    def end_file(self, ctx):
+        if os.path.basename(ctx.path) == "__init__.py":
+            return  # re-exporting is an __init__'s job
+        used = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+        used |= _annotation_string_names(ctx.tree)
+        used |= _dunder_all_names(ctx.tree)
+        for name, lineno, display in _import_bindings(ctx.tree):
+            if name not in used:
+                yield ctx.finding(
+                    _Loc(lineno),
+                    self.code,
+                    "'%s' imported but unused" % display,
+                )
+
+
+class _Loc:
+    """Minimal lineno/col carrier for findings not tied to one node."""
+
+    __slots__ = ("lineno", "col_offset")
+
+    def __init__(self, lineno, col_offset=0):
+        self.lineno = lineno
+        self.col_offset = col_offset

@@ -1,156 +1,30 @@
 #!/usr/bin/env python
-"""Dependency-free lint: byte-compile + unused-import + fault-path checks.
+"""Back-compat shim over ``tools.analysis`` (patlint).
 
-The CI image (and the fully-offline dev container) carries no
-third-party linter, so this covers the classes of rot that actually
-bite a pure-python repo: files that no longer parse, imports left
-behind by refactors, and — since the status-carrying completion path
-landed — two fault-handling hazards in ``src/``:
-
-* bare ``except:`` clauses, which would swallow typed I/O errors
-  (and KeyboardInterrupt) indiscriminately;
-* comparing a ``.status`` attribute against a string literal, which
-  silently never matches now that statuses are ``IoStatus`` enum
-  members (compare against the enum, or use ``str(status)``).
-
-``__init__.py`` files are exempt from the unused-import check —
-re-exporting is their job.
-
-Usage::
+The three ad-hoc rules that used to live here — unused imports, bare
+``except:`` in ``src/``, string-literal ``.status`` compares — are now
+``PA402`` / ``PA301`` / ``PA302`` in the patlint framework, which adds
+stable rule codes, inline suppressions, a baseline file and JSON
+output.  This shim keeps the old entry point working::
 
     python tools/lint.py [paths...]     # defaults to src tests benchmarks
+
+Prefer ``python -m tools.analysis`` for new invocations.
 """
 
-import ast
-import compileall
 import os
 import sys
 
-
-def _iter_py_files(paths):
-    for path in paths:
-        if os.path.isfile(path):
-            yield path
-            continue
-        for dirpath, _dirnames, filenames in os.walk(path):
-            for filename in sorted(filenames):
-                if filename.endswith(".py"):
-                    yield os.path.join(dirpath, filename)
-
-
-def _imported_names(tree):
-    """(name, lineno, display) for every binding an import creates."""
-    out = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = alias.asname or alias.name.split(".")[0]
-                out.append((name, node.lineno, alias.name))
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                name = alias.asname or alias.name
-                out.append((name, node.lineno, alias.name))
-    return out
-
-
-def _used_names(tree):
-    used = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            # the chain's root is a Name node, already collected
-            pass
-    # names re-exported via __all__ count as used
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign):
-            targets = [
-                t.id for t in node.targets if isinstance(t, ast.Name)
-            ]
-            if "__all__" in targets and isinstance(
-                node.value, (ast.List, ast.Tuple)
-            ):
-                for element in node.value.elts:
-                    if isinstance(element, ast.Constant) and isinstance(
-                        element.value, str
-                    ):
-                        used.add(element.value)
-    return used
-
-
-def check_unused_imports(path):
-    with open(path, "rb") as handle:
-        source = handle.read()
-    tree = ast.parse(source, filename=path)
-    used = _used_names(tree)
-    problems = []
-    for name, lineno, display in _imported_names(tree):
-        if name not in used:
-            problems.append(
-                "%s:%d: '%s' imported but unused" % (path, lineno, display)
-            )
-    return problems
-
-
-def _is_status_attribute(node):
-    return isinstance(node, ast.Attribute) and node.attr == "status"
-
-
-def _is_string_literal(node):
-    return isinstance(node, ast.Constant) and isinstance(node.value, str)
-
-
-def check_fault_paths(path):
-    """src/-only rules: bare excepts and string-literal status compares."""
-    with open(path, "rb") as handle:
-        source = handle.read()
-    tree = ast.parse(source, filename=path)
-    problems = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            problems.append(
-                "%s:%d: bare 'except:' swallows typed I/O errors; name "
-                "the exception class" % (path, node.lineno)
-            )
-        elif isinstance(node, ast.Compare):
-            sides = [node.left] + list(node.comparators)
-            has_status = any(_is_status_attribute(side) for side in sides)
-            has_literal = any(_is_string_literal(side) for side in sides)
-            if has_status and has_literal:
-                problems.append(
-                    "%s:%d: '.status' compared against a string literal; "
-                    "statuses are IoStatus enum members — compare against "
-                    "the enum (or str(status))" % (path, node.lineno)
-                )
-    return problems
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def main(argv=None):
-    paths = (argv or sys.argv[1:]) or ["src", "tests", "benchmarks"]
-    ok = all(
-        compileall.compile_dir(p, quiet=1)
-        if os.path.isdir(p)
-        else compileall.compile_file(p, quiet=1)
-        for p in paths
-    )
-    problems = []
-    for path in _iter_py_files(paths):
-        normalized = path.replace(os.sep, "/")
-        if normalized.startswith("src/") or "/src/" in normalized:
-            problems.extend(check_fault_paths(path))
-        if os.path.basename(path) == "__init__.py":
-            continue
-        problems.extend(check_unused_imports(path))
-    for problem in problems:
-        print(problem)
-    if problems or not ok:
-        return 1
-    print("lint: %s clean" % " ".join(paths))
-    return 0
+    if _REPO_ROOT not in sys.path:
+        sys.path.insert(0, _REPO_ROOT)
+    from tools.analysis.cli import main as patlint_main
+
+    paths = list(argv if argv is not None else sys.argv[1:])
+    return patlint_main(paths + ["--format", "text"])
 
 
 if __name__ == "__main__":
