@@ -285,6 +285,30 @@ class BaseSession:
         """
         raise NotImplementedError
 
+    def attach_metrics(self, session=None, **session_kwargs):
+        """Attach a :class:`~repro.obs.MetricsSession` to this session.
+
+        Builds one (forwarding ``session_kwargs`` — SLO targets, scrape
+        interval, flight-recorder capacity) unless an existing session
+        is passed, wires it into this session's stack and returns it.
+        The caller still owns the lifecycle: ``session.start()`` before
+        the workload, ``session.finish()`` after.  A session that is
+        never attached costs nothing.
+        """
+        raise NotImplementedError
+
+    def _make_metrics(self, engine, session, session_kwargs):
+        if session is not None:
+            if session_kwargs:
+                raise ReproError(
+                    "pass session kwargs only when attach_metrics builds "
+                    "the session"
+                )
+            return session
+        from repro.obs.health import MetricsSession
+
+        return MetricsSession(engine, **session_kwargs)
+
 
 class PATreeSession(BaseSession):
     """Blocking convenience wrapper around a PA-Tree on one device.
@@ -364,6 +388,13 @@ class PATreeSession(BaseSession):
         stats["virtual_time_us"] = self.env.now_usec
         return stats
 
+    def attach_metrics(self, session=None, **session_kwargs):
+        """Wire a metrics session into the device and engine stack."""
+        session = self._make_metrics(self.env.engine, session, session_kwargs)
+        session.attach_device(self.env.device)
+        session.attach_worker(self.pa_engine)
+        return session
+
     def validate(self):
         """Verify every on-media structural invariant of the tree."""
         return self.tree.validate()
@@ -436,6 +467,13 @@ class AsyncLsmSession(BaseSession):
         stats["virtual_time_us"] = self.env.now_usec
         return stats
 
+    def attach_metrics(self, session=None, **session_kwargs):
+        """Wire a metrics session into the device and worker stack."""
+        session = self._make_metrics(self.env.engine, session, session_kwargs)
+        session.attach_device(self.env.device)
+        session.attach_worker(self.worker)
+        return session
+
 
 class ShardedSession(BaseSession):
     """Blocking facade over a sharded multi-device PA-Tree fleet.
@@ -495,20 +533,21 @@ class ShardedSession(BaseSession):
         return self.sharded.key_count
 
     def stats(self):
-        """Aggregate + per-shard statistics (fresh dict, cumulative)."""
+        """Aggregate + per-shard statistics (fresh dict, cumulative).
+
+        The fault-injector rollup (``stats()["faults"]``) now comes
+        from :meth:`repro.shard.ShardedPaTree.stats` alongside the
+        ``*_total`` error/retry rollups.
+        """
         stats = self.sharded.stats()
-        injector_stats = [
-            device.fault_injector.stats()
-            for device in self.sharded.devices
-            if device.fault_injector is not None
-        ]
-        if injector_stats:
-            stats["faults"] = {
-                key: sum(s[key] for s in injector_stats)
-                for key in injector_stats[0]
-            }
         stats["virtual_time_us"] = self.now_usec
         return stats
+
+    def attach_metrics(self, session=None, **session_kwargs):
+        """Wire a metrics session across every shard and the router."""
+        session = self._make_metrics(self.engine, session, session_kwargs)
+        session.attach_sharded(self.sharded)
+        return session
 
     def validate(self):
         """Validate every shard tree; returns aggregate statistics."""

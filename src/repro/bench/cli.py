@@ -11,6 +11,8 @@ Examples::
     python -m repro.bench all --out results/
     python -m repro.bench trace list
     python -m repro.bench trace fig7 --out traces/
+    python -m repro.bench metrics faults --out metrics/
+    python -m repro.bench diff old/BENCH_shards.json new/BENCH_shards.json
 """
 
 import argparse
@@ -104,7 +106,7 @@ def _make_writer(path):
     handle = open(path, "w")
 
     def out(line=""):
-        print(line)
+        print(line)  # patlint: ignore[PA404] -- CLI tees to stdout
         handle.write(str(line) + "\n")
 
     return out, handle.close
@@ -117,14 +119,21 @@ def main(argv=None):
     )
     parser.add_argument(
         "exhibit",
-        help="one of: %s, 'all', 'list', or 'trace'"
+        help="one of: %s, 'all', 'list', 'trace', 'metrics', or 'diff'"
         % ", ".join(sorted(_EXHIBITS)),
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="with 'trace': the experiment to record (or 'list')",
+        help="with 'trace'/'metrics': the run to record (or 'list'); "
+        "with 'diff': the old BENCH_*.json artefact",
+    )
+    parser.add_argument(
+        "target2",
+        nargs="?",
+        default=None,
+        help="with 'diff': the new BENCH_*.json artefact",
     )
     parser.add_argument(
         "--ops", type=int, default=None, help="operations per measurement point"
@@ -135,17 +144,33 @@ def main(argv=None):
     parser.add_argument(
         "--out", default=None, help="directory to also write text tables into"
     )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="with 'diff': relative regression threshold (default 0.10)",
+    )
     args = parser.parse_args(argv)
 
     if args.exhibit == "list":
         for name, (title, _fn) in sorted(_EXHIBITS.items()):
-            print("%-8s %s" % (name, title))
+            print("%-8s %s" % (name, title))  # patlint: ignore[PA404]
         return 0
 
     if args.exhibit == "trace":
         from repro.bench import trace
 
         return trace.main(args)
+
+    if args.exhibit == "metrics":
+        from repro.bench import health
+
+        return health.main(args)
+
+    if args.exhibit == "diff":
+        from repro.bench import diff
+
+        return diff.main(args)
 
     names = sorted(_EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     unknown = [name for name in names if name not in _EXHIBITS]
@@ -156,7 +181,7 @@ def main(argv=None):
         os.makedirs(args.out, exist_ok=True)
     for name in names:
         title, fn = _EXHIBITS[name]
-        print("=== %s ===" % title)
+        print("=== %s ===" % title)  # patlint: ignore[PA404]
         path = os.path.join(args.out, name + ".txt") if args.out else None
         out, close = _make_writer(path)
         try:

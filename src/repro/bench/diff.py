@@ -1,0 +1,192 @@
+"""``python -m repro.bench diff <old.json> <new.json>`` — regression gate.
+
+Compares two ``BENCH_*.json`` artefacts (any shape — the comparison
+walks every numeric leaf) and fails when a quantity moved past a
+relative threshold in its *bad* direction:
+
+* **lower-is-better** leaves (latency percentiles, CPU per op, error /
+  failure / violation counts, lost writes) regress when the new value
+  exceeds the old by more than the threshold,
+* **higher-is-better** leaves (throughput, goodput, IOPS) regress when
+  the new value falls short of the old by more than the threshold,
+* unclassified leaves are reported when they move but never gate.
+
+Exit status: 0 — no regression, 1 — at least one regression,
+2 — usage error (missing or unreadable artefact).  Identical artefacts
+always pass with any threshold, so deterministic same-seed reruns gate
+cleanly in CI.
+"""
+
+import json
+import os
+
+DEFAULT_THRESHOLD = 0.10
+
+# substring markers, checked against the full dotted leaf path
+LOWER_BETTER_MARKERS = (
+    "latency",
+    "p50",
+    "p99",
+    "p999",
+    "mean_us",
+    "max_us",
+    "cpu_us_per_op",
+    "error",
+    "failed",
+    "failure",
+    "lost",
+    "violation",
+    "escalation",
+    "postmortem",
+)
+HIGHER_BETTER_MARKERS = (
+    "throughput",
+    "goodput",
+    "iops",
+    "completed",
+    "hit_ratio",
+)
+
+
+def flatten(payload, prefix=""):
+    """Every numeric leaf of a nested dict/list as ``{path: value}``."""
+    leaves = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = "%s.%s" % (prefix, key) if prefix else str(key)
+            leaves.update(flatten(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            path = "%s[%d]" % (prefix, index)
+            leaves.update(flatten(value, path))
+    elif isinstance(payload, bool):
+        pass  # bools are not quantities
+    elif isinstance(payload, (int, float)):
+        leaves[prefix] = payload
+    return leaves
+
+
+def classify(path):
+    """``"lower"``, ``"higher"`` or None (not a gated quantity)."""
+    lowered = path.lower()
+    if any(marker in lowered for marker in LOWER_BETTER_MARKERS):
+        return "lower"
+    if any(marker in lowered for marker in HIGHER_BETTER_MARKERS):
+        return "higher"
+    return None
+
+
+def _relative_change(old, new):
+    if old == 0:
+        return float("inf") if new != 0 else 0.0
+    return (new - old) / abs(old)
+
+
+def compare(old_payload, new_payload, threshold=DEFAULT_THRESHOLD):
+    """Compare two artefact payloads; returns the finding dict.
+
+    The result has ``regressions``, ``improvements``, ``drifts``
+    (unclassified leaves that moved), ``added`` and ``removed`` path
+    lists; only ``regressions`` gate.
+    """
+    old_leaves = flatten(old_payload)
+    new_leaves = flatten(new_payload)
+    shared = sorted(set(old_leaves) & set(new_leaves))
+    findings = {
+        "regressions": [],
+        "improvements": [],
+        "drifts": [],
+        "added": sorted(set(new_leaves) - set(old_leaves)),
+        "removed": sorted(set(old_leaves) - set(new_leaves)),
+    }
+    for path in shared:
+        old, new = old_leaves[path], new_leaves[path]
+        if old == new:
+            continue
+        change = _relative_change(old, new)
+        direction = classify(path)
+        row = {"path": path, "old": old, "new": new, "change": change}
+        if direction is None:
+            findings["drifts"].append(row)
+        elif direction == "lower":
+            if change > threshold:
+                findings["regressions"].append(row)
+            elif change < 0:
+                findings["improvements"].append(row)
+        else:  # higher is better
+            if change < -threshold:
+                findings["regressions"].append(row)
+            elif change > 0:
+                findings["improvements"].append(row)
+    return findings
+
+
+def _format_change(change):
+    if change == float("inf"):
+        return "0 -> nonzero"
+    return "%+.1f%%" % (change * 100.0,)
+
+
+def report(findings, threshold, out=print):
+    """Print the comparison; returns True when no regression."""
+    for row in findings["regressions"]:
+        out(
+            "REGRESSION %-48s %s -> %s (%s)"
+            % (row["path"], row["old"], row["new"],
+               _format_change(row["change"]))
+        )
+    for row in findings["improvements"]:
+        out(
+            "improved   %-48s %s -> %s (%s)"
+            % (row["path"], row["old"], row["new"],
+               _format_change(row["change"]))
+        )
+    for row in findings["drifts"]:
+        out(
+            "drift      %-48s %s -> %s (not gated)"
+            % (row["path"], row["old"], row["new"])
+        )
+    for path in findings["removed"]:
+        out("removed    %s" % path)
+    for path in findings["added"]:
+        out("added      %s" % path)
+    ok = not findings["regressions"]
+    out(
+        "diff: %d regression(s), %d improvement(s), %d drift(s) "
+        "at threshold %.0f%% -> %s"
+        % (
+            len(findings["regressions"]),
+            len(findings["improvements"]),
+            len(findings["drifts"]),
+            threshold * 100.0,
+            "PASS" if ok else "FAIL",
+        )
+    )
+    return ok
+
+
+def diff_files(old_path, new_path, threshold=DEFAULT_THRESHOLD, out=print):
+    """Compare two artefact files; returns a process exit status."""
+    for path in (old_path, new_path):
+        if path is None:
+            out("usage: python -m repro.bench diff <old.json> <new.json>")
+            return 2
+        if not os.path.exists(path):
+            out("no such artefact: %s" % path)
+            return 2
+    with open(old_path) as handle:
+        old_payload = json.load(handle)
+    with open(new_path) as handle:
+        new_payload = json.load(handle)
+    out("diffing %s -> %s" % (old_path, new_path))
+    ok = report(
+        compare(old_payload, new_payload, threshold), threshold, out=out
+    )
+    return 0 if ok else 1
+
+
+def main(args, out=print):
+    threshold = getattr(args, "threshold", None)
+    if threshold is None:
+        threshold = DEFAULT_THRESHOLD
+    return diff_files(args.target, args.target2, threshold, out=out)

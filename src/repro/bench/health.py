@@ -1,0 +1,157 @@
+"""``python -m repro.bench metrics <target>`` — health-check a run.
+
+Runs a representative workload with the :mod:`repro.obs` metrics stack
+attached (labeled registry + SLO tracker + flight recorder + periodic
+scraper) and writes the health artefacts into the output directory
+(default ``metrics/``):
+
+* ``<target>.metrics.jsonl``    — virtual-time metric scrapes, one JSON
+  object per line,
+* ``<target>.prom``             — Prometheus text-exposition snapshot,
+* ``<target>.postmortem.json``  — flight-recorder postmortems (only
+  when a typed I/O error escalated),
+* ``BENCH_metrics_<target>.json`` — machine-readable summary suitable
+  for ``python -m repro.bench diff``.
+
+It also prints the health report: top metrics by magnitude, the SLO
+table (p99/p999 vs per-op-class targets), and the flight-recorder
+summary.  Everything runs in virtual time on the deterministic engine,
+so the same target and seed always produce byte-identical artefacts.
+"""
+
+import os
+
+from repro.bench.report import write_bench_json
+from repro.bench.runner import WorkloadSpec
+from repro.sim.rng import RngRegistry
+
+# fault arm: enough transient read errors to exhaust a 2-retry budget
+# occasionally, plus a small poisoned LBA range whose reads fail with
+# the non-retriable UNRECOVERED_READ — both escalate typed IoErrors,
+# which is exactly what the flight recorder's postmortems are for
+_FAULT_CONFIG = {"read_error_rate": 0.3, "poison_ranges": ((40, 60),)}
+_FAULT_RETRY = {"max_retries": 2}
+
+_RESULT_KEYS = (
+    "completed",
+    "failed_ops",
+    "io_errors",
+    "virtual_time_us",
+)
+
+
+def _run_result(session, metrics):
+    """Flat numeric summary of a finished session run."""
+    stats = session.stats()
+    result = {
+        key: stats[key] for key in _RESULT_KEYS if key in stats
+    }
+    result["slo_violations"] = metrics.slo.total_violations()
+    result["postmortems"] = len(metrics.postmortems)
+    return result
+
+
+def _session_target(description, make_session, mix="default",
+                    default_ops=2_000):
+    """A target that drives an API session with metrics attached."""
+
+    def run(ops, seed):
+        spec = WorkloadSpec(
+            kind="ycsb", n_keys=20_000, n_ops=ops or default_ops, mix=mix
+        )
+        workload = spec.build(RngRegistry(seed).stream("workload"))
+        with make_session(seed) as session:
+            metrics = session.attach_metrics()
+            session.bulk_load(workload.preload_items())
+            metrics.start()
+            session.execute(workload.operations())
+            metrics.finish()
+            result = _run_result(session, metrics)
+        result["metrics_session"] = metrics
+        return result
+
+    return description, run
+
+
+def _make_fig7(seed):
+    from repro.api import PATreeSession
+
+    return PATreeSession(seed=seed)
+
+
+def _make_faults(seed):
+    from repro.api import PATreeSession
+
+    return PATreeSession(seed=seed, faults=_FAULT_CONFIG, retry=_FAULT_RETRY)
+
+
+def _make_shards(seed):
+    from repro.api import ShardedSession
+
+    return ShardedSession(seed=seed, shards=4)
+
+
+TARGETS = {
+    "fig7": _session_target(
+        "PA-Tree on the default YCSB mix, full metrics stack attached",
+        _make_fig7,
+    ),
+    "faults": _session_target(
+        "PA-Tree under heavy injected faults (retry exhaustion, poison)",
+        _make_faults,
+    ),
+    "shards": _session_target(
+        "4-shard PA-Tree fleet with per-shard metric labels",
+        _make_shards,
+    ),
+}
+
+
+def list_targets(out=print):
+    for name, (description, _run) in sorted(TARGETS.items()):
+        out("%-8s %s" % (name, description))
+
+
+def run_metrics(target, ops=None, seed=1, out_dir="metrics", out=print):
+    """Run one metrics target and write its artefacts; returns paths."""
+    description, run = TARGETS[target]
+    out("metrics: %s" % description)
+    result = run(ops, seed)
+    session = result.pop("metrics_session")
+
+    os.makedirs(out_dir, exist_ok=True)
+    prefix = os.path.join(out_dir, target)
+    artifact_paths = session.write_artifacts(prefix)
+
+    payload = {
+        "target": target,
+        "seed": seed,
+        "result": dict(sorted(result.items())),
+        "health": session.bench_summary(),
+    }
+    bench_path = write_bench_json("metrics_" + target, payload, out_dir)
+
+    session.health_report(out=out)
+    for path in artifact_paths:
+        out("wrote %s" % path)
+    out("wrote %s" % bench_path)
+    return artifact_paths + (bench_path,)
+
+
+def main(args, out=print):
+    target = args.target
+    if target in (None, "list"):
+        list_targets(out=out)
+        return 0
+    if target not in TARGETS:
+        out("unknown metrics target %r; available:" % target)
+        list_targets(out=out)
+        return 2
+    run_metrics(
+        target,
+        ops=args.ops,
+        seed=args.seed,
+        out_dir=args.out or "metrics",
+        out=out,
+    )
+    return 0

@@ -55,6 +55,26 @@ class ReadOnlyBuffer:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def register_metrics(self, registry, labels=None):
+        """Expose hit/miss counters through a metric registry."""
+        registry.counter(
+            "buffer_hits_total", labels,
+            fn=lambda: self.hits, help="page lookups served from cache",
+        )
+        registry.counter(
+            "buffer_misses_total", labels,
+            fn=lambda: self.misses, help="page lookups that went to media",
+        )
+        registry.gauge(
+            "buffer_hit_ratio", labels,
+            fn=self.hit_rate, help="cumulative cache hit rate",
+        )
+        registry.gauge(
+            "buffer_resident_pages", labels,
+            fn=lambda: len(self._lru), help="pages resident in the cache",
+        )
+        return registry
+
     def snapshot(self):
         """Stats dict for the observability exporters."""
         return {

@@ -121,6 +121,40 @@ class ReadWriteBuffer:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def register_metrics(self, registry, labels=None):
+        """Expose hit/miss/absorb/flush counters through a registry."""
+        registry.counter(
+            "buffer_hits_total", labels,
+            fn=lambda: self.hits, help="page lookups served from cache",
+        )
+        registry.counter(
+            "buffer_misses_total", labels,
+            fn=lambda: self.misses, help="page lookups that went to media",
+        )
+        registry.gauge(
+            "buffer_hit_ratio", labels,
+            fn=self.hit_rate, help="cumulative cache hit rate",
+        )
+        registry.gauge(
+            "buffer_resident_pages", labels,
+            fn=lambda: len(self._lru), help="pages resident in the cache",
+        )
+        registry.gauge(
+            "buffer_dirty_pages", labels,
+            fn=lambda: self.dirty_count, help="resident pages awaiting flush",
+        )
+        registry.counter(
+            "buffer_write_absorbs_total", labels,
+            fn=lambda: self.write_absorbs,
+            help="node writes absorbed without device I/O",
+        )
+        registry.counter(
+            "buffer_flushes_total", labels,
+            fn=lambda: self.flushes,
+            help="dirty pages handed to the flush path",
+        )
+        return registry
+
     def snapshot(self):
         """Stats dict for the observability exporters."""
         return {

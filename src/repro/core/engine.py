@@ -139,6 +139,11 @@ class PaTreeEngine:
         self.user_completed = 0
         self.last_user_done_ns = 0
         self.probes = Counter()
+        # scheduler decision accounting: probes the policy declined,
+        # and how idle iterations resolved (yield vs busy-spin)
+        self.probe_skips = Counter()
+        self.idle_yields = Counter()
+        self.idle_spins = Counter()
         self.latch_wait_events = Counter()
         # error-path accounting: failures the driver delivered to us,
         # operations aborted with a typed error, write re-drives, and
@@ -275,6 +280,8 @@ class PaTreeEngine:
                             args={"completions": len(completed)},
                         )
                     worked = True
+                else:
+                    self.probe_skips.add()
 
             if self._finished():
                 break
@@ -289,8 +296,10 @@ class PaTreeEngine:
                 if sleep_ns > 0:
                     if next_arrival is not None:
                         sleep_ns = min(sleep_ns, max(1, next_arrival - self.clock.now))
+                    self.idle_yields.add()
                     yield Sleep(sleep_ns)
                 elif not worked:
+                    self.idle_spins.add()
                     yield Cpu(costs.idle_spin_ns, CPU_SCHED)
 
         self._shutdown = True
@@ -752,6 +761,83 @@ class PaTreeEngine:
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
+
+    def register_metrics(self, registry, labels=None):
+        """Expose the whole worker stack through a metric registry.
+
+        Fans out to the driver (which covers the device), the queue
+        pair, the latch table, the buffer and the scheduling policy, so
+        attaching one engine registers every layer it owns under the
+        same labels.  All registrations are callback-backed; nothing is
+        added to the hot path.
+        """
+        registry.counter(
+            "engine_completed_total", labels,
+            fn=lambda: self.completed.value,
+            help="operations completed (including failed ones)",
+        )
+        registry.counter(
+            "engine_failed_ops_total", labels,
+            fn=lambda: self.failed_ops.value,
+            help="operations aborted with a typed error",
+        )
+        registry.counter(
+            "engine_io_errors_total", labels,
+            fn=lambda: self.io_errors.value,
+            help="I/O failures the driver delivered to the engine",
+        )
+        registry.counter(
+            "engine_io_escalations_total", labels,
+            fn=lambda: self.io_escalations.value,
+            help="failed writes re-driven with a fresh command",
+        )
+        registry.counter(
+            "engine_lost_writes_total", labels,
+            fn=lambda: self.lost_writes.value,
+            help="writes abandoned at the escalation cap",
+        )
+        registry.counter(
+            "engine_probes_total", labels,
+            fn=lambda: self.probes.value,
+            help="completion-queue probes performed",
+        )
+        registry.counter(
+            "engine_probe_skips_total", labels,
+            fn=lambda: self.probe_skips.value,
+            help="probe opportunities the policy declined",
+        )
+        registry.counter(
+            "engine_idle_yields_total", labels,
+            fn=lambda: self.idle_yields.value,
+            help="idle iterations resolved by yielding the core",
+        )
+        registry.counter(
+            "engine_idle_spins_total", labels,
+            fn=lambda: self.idle_spins.value,
+            help="idle iterations resolved by busy-spinning",
+        )
+        registry.counter(
+            "engine_latch_wait_events_total", labels,
+            fn=lambda: self.latch_wait_events.value,
+            help="operations that entered the latch-wait state",
+        )
+        registry.gauge(
+            "engine_inflight_ops", labels,
+            fn=lambda: self.inflight,
+            help="admitted operations not yet complete",
+        )
+        registry.gauge(
+            "engine_outstanding_io_count", labels,
+            fn=lambda: self.io_history.outstanding_count,
+            help="engine-submitted I/Os awaiting completion",
+        )
+        self.driver.register_metrics(registry, labels=labels)
+        self.qpair.register_metrics(registry, labels=labels)
+        self.latches.register_metrics(registry, labels=labels)
+        self.policy.register_metrics(registry, labels=labels)
+        if self.buffer is not None:
+            self.buffer.register_metrics(registry, labels=labels)
+        return registry
 
     def stats(self):
         """Totals snapshot; harnesses diff two snapshots for a window."""

@@ -124,6 +124,32 @@ class LatchTable:
     # introspection (tests / stats)
     # ------------------------------------------------------------------
 
+    def register_metrics(self, registry, labels=None):
+        """Expose latch contention counters through a metric registry."""
+        registry.counter(
+            "latch_grants_total", labels,
+            fn=lambda: self.grants,
+            help="latch requests granted",
+        )
+        registry.counter(
+            "latch_waits_total", labels,
+            fn=lambda: self.waits,
+            help="latch requests queued behind a conflicting hold",
+        )
+        registry.gauge(
+            "latch_held_pages", labels,
+            fn=lambda: len(self._entries),
+            help="pages with at least one latch held or pending",
+        )
+        registry.gauge(
+            "latch_pending_ops", labels,
+            fn=lambda: sum(
+                len(entry.pending) for entry in self._entries.values()
+            ),
+            help="operations waiting in latch pending queues",
+        )
+        return registry
+
     def holders(self, page_id):
         entry = self._entries.get(page_id)
         if entry is None:

@@ -239,6 +239,70 @@ class NvmeDevice:
     # statistics helpers
     # ------------------------------------------------------------------
 
+    def register_metrics(self, registry, labels=None):
+        """Expose device counters/gauges through a metric registry.
+
+        All registrations are callback-backed reads of the counters the
+        device already keeps, so instrumenting a run adds no work to
+        the completion path.  Fault-injection counters register only
+        when an injector is armed, keeping healthy-run exports free of
+        fault-path noise.
+        """
+        registry.counter(
+            "device_reads_total", labels,
+            fn=lambda: self.reads_completed.value,
+            help="read commands completed successfully",
+        )
+        registry.counter(
+            "device_writes_total", labels,
+            fn=lambda: self.writes_completed.value,
+            help="write commands completed successfully",
+        )
+        registry.counter(
+            "device_errors_total", labels,
+            fn=lambda: self.errors_completed.value,
+            help="commands completed with a failure status",
+        )
+        registry.counter(
+            "device_probe_calls_total", labels,
+            fn=lambda: self.probe_calls.value,
+            help="completion-queue probe calls",
+        )
+        registry.gauge(
+            "device_outstanding_ops", labels,
+            fn=lambda: self.outstanding.value,
+            help="commands submitted but not yet visible-complete",
+        )
+        channels = self.profile.channels
+        registry.gauge(
+            "device_channel_busy_ratio", labels,
+            fn=lambda: (channels - self._free_channels) / channels,
+            help="fraction of device channels in service",
+        )
+        injector = self.fault_injector
+        if injector is not None:
+            registry.counter(
+                "fault_media_errors_total", labels,
+                fn=lambda: injector.media_errors_injected,
+                help="injected transient media errors",
+            )
+            registry.counter(
+                "fault_spikes_total", labels,
+                fn=lambda: injector.spikes_injected,
+                help="injected latency spikes",
+            )
+            registry.counter(
+                "fault_poison_read_failures_total", labels,
+                fn=lambda: injector.poison_read_failures,
+                help="reads failed against poisoned LBAs",
+            )
+            registry.counter(
+                "fault_poison_cured_total", labels,
+                fn=lambda: injector.poison_cured,
+                help="poisoned LBAs cured by successful writes",
+            )
+        return registry
+
     @property
     def total_completed(self):
         return self.reads_completed.value + self.writes_completed.value

@@ -100,6 +100,36 @@ class NvmeDriver:
     def page_size(self):
         return self.device.profile.page_size
 
+    # observability -------------------------------------------------------
+
+    def register_metrics(self, registry, labels=None):
+        """Expose retry/backoff counters and delegate to the device."""
+        registry.counter(
+            "driver_retries_total", labels,
+            fn=lambda: self.retries_scheduled.value,
+            help="commands resubmitted after a retriable failure",
+        )
+        registry.counter(
+            "driver_failures_delivered_total", labels,
+            fn=lambda: self.failures_delivered.value,
+            help="failures surfaced to the caller (budget spent or "
+                 "non-retriable)",
+        )
+        retry = self.retry
+        if retry is not None:
+            registry.gauge(
+                "driver_retry_budget_count", labels,
+                fn=lambda: retry.max_retries,
+                help="configured per-command retry budget",
+            )
+            registry.gauge(
+                "driver_retry_backoff_ns", labels,
+                fn=lambda: retry.backoff_ns,
+                help="configured base retry backoff",
+            )
+        self.device.register_metrics(registry, labels=labels)
+        return registry
+
     # API ----------------------------------------------------------------
 
     def alloc_qpair(self, sq_size=1024, cq_size=1024):

@@ -36,6 +36,35 @@ class QueuePair:
         self.completed = 0
         self.on_complete = None
 
+    def register_metrics(self, registry, labels=None):
+        """Expose queue-pair occupancy through a metric registry."""
+        registry.gauge(
+            "qpair_outstanding_ops", labels,
+            fn=lambda: self.outstanding,
+            help="commands submitted on this pair and not yet complete",
+        )
+        registry.counter(
+            "qpair_submitted_total", labels,
+            fn=lambda: self.submitted,
+            help="commands pushed onto the submission ring",
+        )
+        registry.counter(
+            "qpair_completed_total", labels,
+            fn=lambda: self.completed,
+            help="completions posted to the completion ring",
+        )
+        registry.gauge(
+            "qpair_sq_occupancy_ratio", labels,
+            fn=lambda: len(self.sq) / self.sq.capacity,
+            help="submission ring occupancy",
+        )
+        registry.gauge(
+            "qpair_cq_occupancy_ratio", labels,
+            fn=lambda: len(self.cq) / self.cq.capacity,
+            help="completion ring occupancy",
+        )
+        return registry
+
     @property
     def has_pending_submissions(self):
         return not self.sq.is_empty

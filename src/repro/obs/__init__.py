@@ -15,11 +15,23 @@ inspectable instead of only aggregable:
   of the above to a simulated machine through the null-default hook
   points (``engine.on_dispatch``, device completion hooks, scheduler
   transition callbacks).
+* :mod:`repro.obs.metrics` — the labeled metric registry
+  (Counter/Gauge/Histogram under ``(name, labels)`` identity), the
+  periodic virtual-time scraper and the Prometheus-text exporter.
+* :mod:`repro.obs.slo` — per-op-class virtual-time latency targets
+  with p99/p999 and violation counters per shard.
+* :mod:`repro.obs.flight` — a bounded ring of recent completions,
+  retries and transitions, dumped as a postmortem when a typed
+  ``IoError`` escalates.
+* :mod:`repro.obs.health` — :class:`MetricsSession`, which wires the
+  registry, SLO tracker, flight recorder and scraper into a run.
 
 Everything is zero-overhead-when-disabled: components hold a
 :data:`~repro.obs.tracer.NULL_TRACER` whose ``enabled`` flag gates every
-record call behind a single attribute check, and the hook points default
-to ``None``.
+record call behind a single attribute check, metric registration only
+happens when a session attaches (the :data:`~repro.obs.metrics.NULL_REGISTRY`
+swallows registrations elsewhere), and the hook points default to
+``None``.
 """
 
 from repro.obs.export import (
@@ -29,8 +41,21 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.health import MetricsSession
+from repro.obs.metrics import (
+    METRIC_NAME_SUFFIXES,
+    MetricError,
+    MetricRegistry,
+    MetricScraper,
+    NULL_REGISTRY,
+    NullRegistry,
+    prometheus_text,
+    write_prometheus,
+)
 from repro.obs.series import Histogram, TimeSeriesSampler, latency_histogram
 from repro.obs.session import TraceSession
+from repro.obs.slo import DEFAULT_TARGETS_US, SloTracker
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -47,4 +72,16 @@ __all__ = [
     "trace_summary",
     "write_chrome_trace",
     "write_jsonl",
+    "METRIC_NAME_SUFFIXES",
+    "MetricError",
+    "MetricRegistry",
+    "MetricScraper",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "prometheus_text",
+    "write_prometheus",
+    "DEFAULT_TARGETS_US",
+    "SloTracker",
+    "FlightRecorder",
+    "MetricsSession",
 ]

@@ -1,0 +1,127 @@
+"""Flight recorder: the last N interesting events, dumped on escalation.
+
+When a fault run surfaces a typed :class:`~repro.errors.IoError` the
+interesting question is rarely the error itself — it is *what the stack
+was doing in the virtual milliseconds before it*.  The
+:class:`FlightRecorder` keeps a bounded ring of recent completions,
+retries and operation state transitions (O(capacity) memory regardless
+of run length), and renders a **postmortem** dict naming the failing
+LBA, opcode and status next to the recent history when an error
+escalates past the driver's retry budget.
+
+Recording is read-only with respect to simulation state and charges no
+virtual CPU, so an instrumented run reaches the same virtual-time
+results as a bare one.
+"""
+
+from collections import deque
+
+#: Ring entry kinds, in escalation order.
+EV_COMPLETION = "completion"
+EV_RETRY = "retry"
+EV_TRANSITION = "transition"
+EV_ERROR = "error"
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent I/O and operation events."""
+
+    def __init__(self, clock, capacity=512):
+        self.clock = clock
+        self.capacity = capacity
+        self.ring = deque(maxlen=capacity)
+        self.recorded = 0  # total ever recorded (ring only keeps the tail)
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, kind, fields):
+        self.recorded += 1
+        self.ring.append((self.clock.now, kind, fields))
+
+    def record_completion(self, command, ok, status=None):
+        fields = {
+            "op": command.opcode,
+            "lba": command.lba,
+            "ok": bool(ok),
+        }
+        if not ok and status is not None:
+            fields["status"] = str(status)
+            if command.retries:
+                fields["retries"] = command.retries
+        self.record(EV_COMPLETION, fields)
+
+    def record_retry(self, completion):
+        command = completion.command
+        self.record(
+            EV_RETRY,
+            {
+                "op": command.opcode,
+                "lba": command.lba,
+                "status": str(completion.status),
+                "attempt": command.retries,
+            },
+        )
+
+    def record_transition(self, op, state):
+        self.record(
+            EV_TRANSITION,
+            {"op": op.kind, "seq": op.seq, "state": state},
+        )
+
+    def record_error(self, error, op=None):
+        fields = {
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+        status = getattr(error, "status", None)
+        if status is not None:
+            fields["status"] = str(status)
+        if getattr(error, "opcode", None) is not None:
+            fields["op"] = error.opcode
+        if getattr(error, "lba", None) is not None:
+            fields["lba"] = error.lba
+        if op is not None:
+            fields["op_kind"] = op.kind
+            fields["op_seq"] = op.seq
+        self.record(EV_ERROR, fields)
+
+    # -- reporting -----------------------------------------------------
+
+    def events(self):
+        """Ring contents oldest-first (fresh list of dicts)."""
+        return [
+            {"t_ns": t_ns, "kind": kind, **fields}
+            for t_ns, kind, fields in self.ring
+        ]
+
+    def summary(self):
+        """Counts by event kind plus ring occupancy (fresh dict)."""
+        by_kind = {}
+        for _t_ns, kind, _fields in self.ring:
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return {
+            "capacity": self.capacity,
+            "in_ring": len(self.ring),
+            "recorded_total": self.recorded,
+            "by_kind": {kind: by_kind[kind] for kind in sorted(by_kind)},
+        }
+
+    def postmortem(self, error, context=None):
+        """Dump the ring around an escalated typed error (fresh dict).
+
+        Names the failing LBA, opcode and final status up front so a
+        reader (or a test) never has to dig them out of the tail.
+        """
+        report = {
+            "t_ns": self.clock.now,
+            "error": type(error).__name__,
+            "message": str(error),
+            "status": str(error.status) if getattr(error, "status", None) is not None else None,
+            "op": getattr(error, "opcode", None),
+            "lba": getattr(error, "lba", None),
+            "recent_events": self.events(),
+            "summary": self.summary(),
+        }
+        if context:
+            report["context"] = dict(context)
+        return report

@@ -1,0 +1,303 @@
+"""MetricsSession: attach the metric/SLO/flight-recorder stack to a run.
+
+The metrics sibling of :class:`~repro.obs.session.TraceSession`: one
+session owns a :class:`~repro.obs.metrics.MetricRegistry`, an
+:class:`~repro.obs.slo.SloTracker`, a
+:class:`~repro.obs.flight.FlightRecorder` and a periodic
+:class:`~repro.obs.metrics.MetricScraper`, and wires them into the
+stack through the same null-default hook points the tracer uses.
+
+Hook points are single-slot attributes (``device.on_complete``,
+``driver.on_retry``, ``worker.op_observer``), so the session *chains*
+rather than replaces: the previously-installed hook still fires first
+and :meth:`finish` restores it.  A trace session and a metrics session
+can therefore observe the same run.
+
+Escalation handling: when a completed operation carries a typed
+:class:`~repro.errors.IoError` (retry budget spent, poisoned LBA) the
+session captures a flight-recorder postmortem naming the failing LBA
+and opcode next to the recent event history.  Postmortem capture is
+bounded; the count of dropped ones is kept so nothing fails silently.
+
+With no session attached nothing registers and every hook point stays
+as it was — the metrics stack costs exactly zero.
+"""
+
+import json
+
+from repro.errors import IoError
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    MetricRegistry,
+    MetricScraper,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.slo import SloTracker
+from repro.sim.clock import usec
+
+
+class _OpObserver:
+    """Chains a worker's previous ``op_observer`` with the session."""
+
+    __slots__ = ("session", "previous", "shard")
+
+    def __init__(self, session, previous, shard):
+        self.session = session
+        self.previous = previous
+        self.shard = shard
+
+    def on_op_complete(self, op):
+        if self.previous is not None:
+            self.previous.on_op_complete(op)
+        self.session._on_op_complete(op, self.shard)
+
+
+class MetricsSession:
+    """One metrics recording of one simulated machine (or fleet)."""
+
+    def __init__(
+        self,
+        engine,
+        targets_us=None,
+        scrape_interval_ns=usec(500),
+        flight_capacity=512,
+        max_postmortems=16,
+    ):
+        self.engine = engine
+        self.registry = MetricRegistry()
+        self.slo = SloTracker(self.registry, targets_us=targets_us)
+        self.flight = FlightRecorder(engine.clock, capacity=flight_capacity)
+        self.scraper = MetricScraper(engine, self.registry, scrape_interval_ns)
+        self.postmortems = []
+        self.max_postmortems = max_postmortems
+        self.postmortems_dropped = 0
+        self._chains = []  # (obj, attr, previous, installed)
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def _chain(self, obj, attr, make_hook):
+        previous = getattr(obj, attr)
+        installed = make_hook(previous)
+        setattr(obj, attr, installed)
+        self._chains.append((obj, attr, previous, installed))
+
+    def _shard_labels(self, shard):
+        return None if shard is None else {"shard": str(shard)}
+
+    def attach_device(self, device, shard=None):
+        """Register a device's metrics and record its completions."""
+        device.register_metrics(self.registry, labels=self._shard_labels(shard))
+        flight = self.flight
+
+        def make_hook(previous):
+            def on_complete(completion):
+                if previous is not None:
+                    previous(completion)
+                flight.record_completion(
+                    completion.command, completion.ok, completion.status
+                )
+
+            return on_complete
+
+        self._chain(device, "on_complete", make_hook)
+        return self
+
+    def attach_worker(self, worker, shard=None):
+        """Register a worker stack's metrics and observe its operations.
+
+        The worker's ``register_metrics`` fans out to its driver,
+        device, queue pair, latch table, buffer and policy, so one call
+        covers the whole shard-local stack.
+        """
+        worker.register_metrics(self.registry, labels=self._shard_labels(shard))
+        self._chain(
+            worker,
+            "op_observer",
+            lambda previous: _OpObserver(self, previous, shard),
+        )
+        driver = getattr(worker, "driver", None)
+        if driver is not None:
+            flight = self.flight
+
+            def make_hook(previous):
+                def on_retry(completion):
+                    if previous is not None:
+                        previous(completion)
+                    flight.record_retry(completion)
+
+                return on_retry
+
+            self._chain(driver, "on_retry", make_hook)
+        return self
+
+    def attach_machine(self, machine, worker=None):
+        """Convenience: attach a bench ``_Machine`` and its worker."""
+        self.attach_device(machine.device)
+        if worker is not None:
+            self.attach_worker(worker)
+        return self
+
+    def attach_sharded(self, sharded):
+        """Attach every shard of a :class:`~repro.shard.ShardedPaTree`.
+
+        Per-shard metrics carry a ``shard="<i>"`` label; the router's
+        own rollup metrics register unlabeled.
+        """
+        sharded.register_metrics(self.registry)
+        for index in range(sharded.n_shards):
+            self.attach_device(sharded.devices[index], shard=index)
+            self.attach_worker(sharded.engines[index], shard=index)
+        return self
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        self.scraper.start()
+        return self
+
+    def finish(self):
+        """Stop scraping and restore every chained hook point."""
+        self.scraper.stop()
+        for obj, attr, previous, installed in reversed(self._chains):
+            if getattr(obj, attr) is installed:
+                setattr(obj, attr, previous)
+        self._chains = []
+        return self
+
+    # ------------------------------------------------------------------
+    # hook callbacks (read-only with respect to simulation state)
+    # ------------------------------------------------------------------
+
+    def _on_op_complete(self, op, shard):
+        if op.error is None:
+            self.flight.record_transition(op, "done")
+            self.slo.observe(op.kind, op.latency_ns, shard=shard)
+            return
+        self.flight.record_error(op.error, op=op)
+        if isinstance(op.error, IoError):
+            context = {"op_kind": op.kind, "op_seq": op.seq}
+            if shard is not None:
+                context["shard"] = shard
+            if len(self.postmortems) < self.max_postmortems:
+                self.postmortems.append(
+                    self.flight.postmortem(op.error, context=context)
+                )
+            else:
+                self.postmortems_dropped += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def health_report(self, top=20, out=None):
+        """Human-readable health text: top metrics, SLO table, flight
+        summary.  Returns the text; ``out`` (a write-a-line callable)
+        receives it line by line when given.
+        """
+        lines = ["== health: metrics =="]
+        scalars = self.registry.scalars()
+        ranked = sorted(
+            scalars.items(), key=lambda item: (-abs(item[1]), item[0])
+        )
+        width = max((len(name) for name, _v in ranked[:top]), default=0)
+        for name, value in ranked[:top]:
+            lines.append("  %-*s %s" % (width, name, value))
+        if len(ranked) > top:
+            lines.append("  ... %d more metrics" % (len(ranked) - top))
+
+        lines.append("")
+        lines.append("== health: SLO ==")
+        rows = self.slo.table()
+        if rows:
+            lines.append(
+                "  %-8s %-6s %8s %10s %10s %10s %10s"
+                % ("op", "shard", "count", "p99_us", "p999_us",
+                   "target_us", "violations")
+            )
+            for row in rows:
+                lines.append(
+                    "  %-8s %-6s %8d %10.1f %10.1f %10.1f %10d"
+                    % (row["op"], row["shard"], row["count"], row["p99_us"],
+                       row["p999_us"], row["target_us"], row["violations"])
+                )
+            lines.append(
+                "  total violations: %d" % self.slo.total_violations()
+            )
+        else:
+            lines.append("  (no operations observed)")
+
+        lines.append("")
+        lines.append("== health: flight recorder ==")
+        summary = self.flight.summary()
+        lines.append(
+            "  ring %d/%d (recorded %d total)"
+            % (summary["in_ring"], summary["capacity"],
+               summary["recorded_total"])
+        )
+        for kind, count in summary["by_kind"].items():
+            lines.append("  %-12s %d" % (kind, count))
+        lines.append(
+            "  postmortems captured: %d (dropped %d)"
+            % (len(self.postmortems), self.postmortems_dropped)
+        )
+        text = "\n".join(lines) + "\n"
+        if out is not None:
+            for line in lines:
+                out(line)
+        return text
+
+    def bench_summary(self):
+        """Machine-readable summary for ``BENCH_*.json`` artefacts."""
+        summary = {
+            "metrics": self.registry.snapshot(),
+            "slo": self.slo.snapshot(),
+            "flight": self.flight.summary(),
+            "scrape": {
+                "interval_us": self.scraper.interval_ns / 1000,
+                "samples": len(self.scraper.samples),
+            },
+        }
+        # postmortem keys only appear when an error actually escalated,
+        # so healthy-run artefacts carry no fault-path noise
+        if self.postmortems or self.postmortems_dropped:
+            summary["postmortems"] = {
+                "captured": len(self.postmortems),
+                "dropped": self.postmortems_dropped,
+                "errors": [
+                    {"error": p["error"], "op": p["op"], "lba": p["lba"]}
+                    for p in self.postmortems
+                ],
+            }
+        return summary
+
+    def prometheus_text(self):
+        return prometheus_text(self.registry)
+
+    def write_artifacts(self, prefix):
+        """Write ``<prefix>.metrics.jsonl`` and ``<prefix>.prom`` (plus
+        ``<prefix>.postmortem.json`` when any error escalated)."""
+        paths = [
+            self.scraper.write_jsonl(prefix + ".metrics.jsonl"),
+            write_prometheus(self.registry, prefix + ".prom"),
+        ]
+        if self.postmortems:
+            path = prefix + ".postmortem.json"
+            with open(path, "w") as handle:
+                json.dump(
+                    {
+                        "captured": len(self.postmortems),
+                        "dropped": self.postmortems_dropped,
+                        "postmortems": self.postmortems,
+                    },
+                    handle,
+                    sort_keys=True,
+                    indent=2,
+                )
+                handle.write("\n")
+            paths.append(path)
+        return tuple(paths)

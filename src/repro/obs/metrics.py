@@ -1,0 +1,454 @@
+"""The labeled metric registry and its exporters.
+
+Every layer of the simulated stack can describe itself as a set of
+**metrics**: monotone counters (completions, retries, faults), gauges
+(queue depth, channel occupancy, buffer residency) and fixed-bucket
+latency histograms.  A :class:`MetricRegistry` holds them under a
+``(name, labels)`` identity — the same metric name registered with
+different label sets (``shard="0"`` vs ``shard="1"``) stays
+distinguishable while rollups can still sum across the label axis.
+
+Naming discipline (enforced here at registration time and statically by
+patlint rule PA405): metric names are ``snake_case`` and end in a unit
+suffix from :data:`METRIC_NAME_SUFFIXES`, so a consumer can always tell
+nanoseconds from pages from ratios without a side channel.
+
+Determinism: the registry iterates in registration order, label keys
+are sorted inside each identity, and every exporter below (Prometheus
+text, JSONL scrape rows) writes from those orders only — two same-seed
+runs produce byte-identical exports.  Components hold
+:data:`NULL_REGISTRY` by default; like the tracer's ``NULL_TRACER`` it
+makes every registration a no-op returning inert metric objects, so
+the disabled path costs one attribute check and nothing else.
+"""
+
+import json
+import re
+
+from repro.errors import ReproError
+from repro.obs.series import Histogram, latency_histogram
+from repro.sim.clock import to_usec
+
+#: Unit suffixes a registered metric name must end with.  PA405 (the
+#: patlint metric-name rule) carries a copy of this tuple; keep the two
+#: in sync when adding a unit.
+METRIC_NAME_SUFFIXES = (
+    "_ns",
+    "_us",
+    "_bytes",
+    "_pages",
+    "_ops",
+    "_total",
+    "_ratio",
+    "_count",
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+class MetricError(ReproError):
+    """A metric was registered or used against the registry contract."""
+
+
+def validate_metric_name(name):
+    """Raise :class:`MetricError` unless ``name`` obeys the discipline."""
+    if not _NAME_RE.match(name):
+        raise MetricError(
+            "metric name %r is not snake_case ([a-z][a-z0-9_]*)" % (name,)
+        )
+    if not name.endswith(METRIC_NAME_SUFFIXES):
+        raise MetricError(
+            "metric name %r lacks a unit suffix (one of %s)"
+            % (name, ", ".join(METRIC_NAME_SUFFIXES))
+        )
+
+
+def _normalize_labels(labels):
+    """Sorted ``(key, str(value))`` tuple — the label part of identity."""
+    if not labels:
+        return ()
+    return tuple(
+        (str(key), str(labels[key])) for key in sorted(labels)
+    )
+
+
+def flat_name(name, label_items):
+    """``name{k="v",...}`` rendering shared by the exporters."""
+    if not label_items:
+        return name
+    inner = ",".join('%s="%s"' % (key, value) for key, value in label_items)
+    return "%s{%s}" % (name, inner)
+
+
+class Metric:
+    """Base of all registered metrics; identity is ``(name, labels)``."""
+
+    kind = "metric"
+    __slots__ = ("name", "labels", "help")
+
+    def __init__(self, name, labels, help=""):
+        self.name = name
+        self.labels = labels  # normalized (key, value) tuple
+        self.help = help
+
+    @property
+    def flat(self):
+        return flat_name(self.name, self.labels)
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self.flat)
+
+
+class CounterMetric(Metric):
+    """Monotone event count.
+
+    Either owned (``inc()``) or a *callback counter* reading an
+    existing cumulative quantity (``fn``) — the stack already counts
+    completions/retries/faults in always-on ``sim.metrics.Counter``
+    objects, and a callback counter exports those without double
+    bookkeeping on the hot path.
+    """
+
+    kind = "counter"
+    __slots__ = ("value", "_fn")
+
+    def __init__(self, name, labels, fn=None, help=""):
+        super().__init__(name, labels, help)
+        self.value = 0
+        self._fn = fn
+
+    def inc(self, n=1):
+        self.value += n
+
+    def read(self):
+        if self._fn is not None:
+            return self._fn()
+        return self.value
+
+
+class GaugeMetric(Metric):
+    """Point-in-time quantity; callback-backed or explicitly ``set``."""
+
+    kind = "gauge"
+    __slots__ = ("value", "_fn")
+
+    def __init__(self, name, labels, fn=None, help=""):
+        super().__init__(name, labels, help)
+        self.value = 0
+        self._fn = fn
+
+    def set(self, value):
+        self.value = value
+
+    def read(self):
+        if self._fn is not None:
+            return self._fn()
+        return self.value
+
+
+class HistogramMetric(Metric):
+    """Fixed-bucket distribution (see :class:`repro.obs.series.Histogram`).
+
+    Values are recorded in the unit the name declares (``_ns`` names
+    record nanoseconds); the default bounds are the 1 us .. 1 s latency
+    decades.
+    """
+
+    kind = "histogram"
+    __slots__ = ("histogram",)
+
+    def __init__(self, name, labels, bounds=None, help=""):
+        super().__init__(name, labels, help)
+        if bounds is None:
+            self.histogram = latency_histogram()
+        else:
+            self.histogram = Histogram(bounds)
+
+    def observe(self, value):
+        self.histogram.record(value)
+
+    def read(self):
+        return self.histogram.count
+
+    def quantile(self, q):
+        return self.histogram.quantile(q)
+
+
+class _NullMetric:
+    """Inert metric returned by the null registry: every call no-ops."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    labels = ()
+    flat = ""
+
+    def inc(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def read(self):
+        return 0
+
+    def quantile(self, q):
+        return 0
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricRegistry:
+    """Labeled metrics under ``(name, labels)`` identity.
+
+    Registration is idempotent: asking for an identity that already
+    exists returns the existing instance (so per-shard attach loops and
+    re-attachment are safe), but re-registering under a different
+    metric kind is an error.  Iteration yields metrics in first
+    registration order — the deterministic order every exporter uses.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics = {}  # (name, labels) -> Metric, insertion-ordered
+
+    # -- registration --------------------------------------------------
+
+    def counter(self, name, labels=None, fn=None, help=""):
+        return self._register(CounterMetric, name, labels, help, fn=fn)
+
+    def gauge(self, name, labels=None, fn=None, help=""):
+        return self._register(GaugeMetric, name, labels, help, fn=fn)
+
+    def histogram(self, name, labels=None, bounds=None, help=""):
+        return self._register(
+            HistogramMetric, name, labels, help, bounds=bounds
+        )
+
+    def _register(self, cls, name, labels, help, **kwargs):
+        validate_metric_name(name)
+        identity = (name, _normalize_labels(labels))
+        existing = self._metrics.get(identity)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricError(
+                    "metric %s already registered as a %s, not a %s"
+                    % (flat_name(*identity), existing.kind, cls.kind)
+                )
+            return existing
+        metric = cls(identity[0], identity[1], help=help, **kwargs)
+        self._metrics[identity] = metric
+        return metric
+
+    # -- access --------------------------------------------------------
+
+    def get(self, name, labels=None):
+        """The registered metric, or None."""
+        return self._metrics.get((name, _normalize_labels(labels)))
+
+    def __iter__(self):
+        return iter(list(self._metrics.values()))
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def collect(self):
+        """All metrics, in registration order (a fresh list)."""
+        return list(self._metrics.values())
+
+    # -- snapshots -----------------------------------------------------
+
+    def scalars(self):
+        """Flat-name -> value for counters and gauges, registry order."""
+        row = {}
+        for metric in self._metrics.values():
+            if metric.kind in ("counter", "gauge"):
+                row[metric.flat] = metric.read()
+        return row
+
+    def snapshot(self):
+        """Machine-readable dump of every metric (fresh dict per call).
+
+        Histograms expand to their summary snapshot (count / mean /
+        percentiles / buckets, microsecond units as in
+        :meth:`repro.obs.series.Histogram.snapshot`).
+        """
+        out = {}
+        for metric in self._metrics.values():
+            if metric.kind == "histogram":
+                out[metric.flat] = metric.histogram.snapshot()
+            else:
+                out[metric.flat] = metric.read()
+        return out
+
+
+class NullRegistry:
+    """Disabled registry: registrations return inert metrics.
+
+    Components can unconditionally call ``register_metrics`` against
+    it; nothing is retained and updates cost one no-op method call.
+    """
+
+    enabled = False
+
+    def counter(self, name, labels=None, fn=None, help=""):
+        return NULL_METRIC
+
+    def gauge(self, name, labels=None, fn=None, help=""):
+        return NULL_METRIC
+
+    def histogram(self, name, labels=None, bounds=None, help=""):
+        return NULL_METRIC
+
+    def get(self, name, labels=None):
+        return None
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self):
+        return 0
+
+    def collect(self):
+        return []
+
+    def scalars(self):
+        return {}
+
+    def snapshot(self):
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+
+def _format_number(value):
+    """Prometheus-style number rendering (ints stay ints)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(registry):
+    """Render the registry in the Prometheus text exposition format.
+
+    Output order is registration order grouped by metric name (the
+    ``# TYPE`` header is emitted once per name), so same-seed runs
+    produce byte-identical exports.  Histograms expand to cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, with
+    nanosecond-recorded values exposed in microseconds to match the
+    run summaries.
+    """
+    lines = []
+    typed = set()
+    for metric in registry.collect():
+        if metric.name not in typed:
+            typed.add(metric.name)
+            if metric.help:
+                lines.append("# HELP %s %s" % (metric.name, metric.help))
+            lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+        if metric.kind == "histogram":
+            lines.extend(_prom_histogram_lines(metric))
+        else:
+            lines.append(
+                "%s %s" % (metric.flat, _format_number(metric.read()))
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _prom_histogram_lines(metric):
+    histogram = metric.histogram
+    cumulative = 0
+    for index, bound in enumerate(histogram.bounds):
+        cumulative += histogram.counts[index]
+        labels = metric.labels + (("le", repr(to_usec(bound))),)
+        yield "%s %d" % (
+            flat_name(metric.name + "_bucket", labels),
+            cumulative,
+        )
+    cumulative += histogram.counts[-1]
+    labels = metric.labels + (("le", "+Inf"),)
+    yield "%s %d" % (flat_name(metric.name + "_bucket", labels), cumulative)
+    yield "%s %s" % (
+        flat_name(metric.name + "_sum", metric.labels),
+        _format_number(to_usec(histogram.sum)),
+    )
+    yield "%s %d" % (
+        flat_name(metric.name + "_count", metric.labels),
+        histogram.count,
+    )
+
+
+def write_prometheus(registry, path):
+    """Write :func:`prometheus_text` to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(registry))
+    return path
+
+
+class MetricScraper:
+    """Periodic virtual-time scrape of every counter/gauge scalar.
+
+    Rides the simulation engine like the time-series sampler: a
+    callback every ``interval_ns`` reads :meth:`MetricRegistry.scalars`
+    and appends one row.  Probes only read state, so a scraped run
+    reaches the same virtual-time results as an unscraped one.
+    Histograms are summarised once at export time (they change too
+    often to snapshot per tick at bounded cost).
+    """
+
+    def __init__(self, engine, registry, interval_ns, max_samples=100_000):
+        self.engine = engine
+        self.registry = registry
+        self.interval_ns = int(interval_ns)
+        if self.interval_ns <= 0:
+            raise MetricError("scrape interval must be positive")
+        self.max_samples = max_samples
+        self.samples = []  # (time_ns, {flat_name: value})
+        self._event = None
+        self._running = False
+
+    def start(self):
+        if self._running:
+            return self
+        self._running = True
+        self._event = self.engine.schedule(self.interval_ns, self._tick)
+        return self
+
+    def stop(self):
+        self._running = False
+        if self._event is not None:
+            self.engine.cancel(self._event)
+            self._event = None
+
+    def _tick(self):
+        if not self._running:
+            return
+        if len(self.samples) < self.max_samples:
+            self.samples.append((self.engine.now, self.registry.scalars()))
+        if len(self.samples) < self.max_samples:
+            self._event = self.engine.schedule(self.interval_ns, self._tick)
+        else:
+            self._running = False
+            self._event = None
+
+    def write_jsonl(self, path):
+        """One JSON object per scrape tick; key order = registry order."""
+        with open(path, "w") as handle:
+            for time_ns, row in self.samples:
+                handle.write(
+                    json.dumps({"t_ns": time_ns, "metrics": row}) + "\n"
+                )
+        return path

@@ -525,6 +525,68 @@ class PolledLsmWorker:
     # stats
     # ------------------------------------------------------------------
 
+    def register_metrics(self, registry, labels=None):
+        """Expose the LSM worker stack through a metric registry.
+
+        Mirrors :meth:`repro.core.engine.PaTreeEngine.register_metrics`
+        for the LSM sibling: worker counters plus delegation to the
+        driver (covering the device), the queue pair and the policy.
+        """
+        registry.counter(
+            "worker_completed_total", labels,
+            fn=lambda: self.completed.value,
+            help="operations completed (including failed ones)",
+        )
+        registry.counter(
+            "worker_failed_ops_total", labels,
+            fn=lambda: self.failed_ops.value,
+            help="operations aborted with a typed error",
+        )
+        registry.counter(
+            "worker_io_errors_total", labels,
+            fn=lambda: self.io_errors.value,
+            help="I/O failures the driver delivered to the worker",
+        )
+        registry.counter(
+            "worker_io_escalations_total", labels,
+            fn=lambda: self.io_escalations.value,
+            help="failed writes re-driven with a fresh command",
+        )
+        registry.counter(
+            "worker_lost_writes_total", labels,
+            fn=lambda: self.lost_writes.value,
+            help="writes abandoned at the escalation cap",
+        )
+        registry.counter(
+            "worker_probes_total", labels,
+            fn=lambda: self.probes.value,
+            help="completion-queue probes performed",
+        )
+        registry.counter(
+            "store_flushes_total", labels,
+            fn=lambda: self.store.flushes,
+            help="memtable flushes completed",
+        )
+        registry.counter(
+            "store_compactions_total", labels,
+            fn=lambda: self.store.compactions,
+            help="compactions completed",
+        )
+        registry.gauge(
+            "worker_inflight_ops", labels,
+            fn=lambda: self.inflight,
+            help="admitted operations not yet complete",
+        )
+        registry.gauge(
+            "worker_outstanding_io_count", labels,
+            fn=lambda: self.io_history.outstanding_count,
+            help="worker-submitted I/Os awaiting completion",
+        )
+        self.driver.register_metrics(registry, labels=labels)
+        self.qpair.register_metrics(registry, labels=labels)
+        self.policy.register_metrics(registry, labels=labels)
+        return registry
+
     def stats(self):
         return {
             "completed": self.completed.value,

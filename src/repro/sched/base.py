@@ -33,6 +33,17 @@ class SchedulingPolicy:
     def ready_count(self):
         raise NotImplementedError
 
+    # observability ------------------------------------------------------
+
+    def register_metrics(self, registry, labels=None):
+        """Expose the ready-set size; policies may add their own."""
+        registry.gauge(
+            "sched_ready_ops", labels,
+            fn=self.ready_count,
+            help="operations in the policy's ready set",
+        )
+        return registry
+
     # probe gating ------------------------------------------------------
 
     def should_probe(self):

@@ -399,6 +399,39 @@ class ShardedPaTree:
             session.attach_worker(self.engines[index], name=name)
         return session
 
+    def register_metrics(self, registry):
+        """Register the fleet into a metric registry.
+
+        Router-level rollups register unlabeled; each shard's full
+        stack registers under a ``shard="<i>"`` label, so per-shard and
+        aggregate views coexist in one registry.
+        """
+        registry.counter(
+            "router_user_completed_total",
+            fn=lambda: self.user_completed,
+            help="user operations completed across all shards",
+        )
+        registry.counter(
+            "router_user_failed_total",
+            fn=lambda: self.user_failed,
+            help="user operations surfaced with a typed error",
+        )
+        registry.gauge(
+            "router_inflight_ops",
+            fn=lambda: self._inflight,
+            help="operations admitted through the closed-loop window",
+        )
+        registry.gauge(
+            "router_pending_ops",
+            fn=lambda: len(self._global_pending),
+            help="operations queued behind the admission window",
+        )
+        for index in range(self.n_shards):
+            self.engines[index].register_metrics(
+                registry, labels={"shard": str(index)}
+            )
+        return registry
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -430,6 +463,7 @@ class ShardedPaTree:
         per_shard) == completed`` always holds.
         """
         per_shard = []
+        injectors_armed = False
         for index in range(self.n_shards):
             shard_stats = self.engines[index].stats()
             device = self.devices[index]
@@ -437,8 +471,31 @@ class ShardedPaTree:
             shard_stats["device_reads"] = device.reads_completed.value
             shard_stats["device_writes"] = device.writes_completed.value
             shard_stats["device_errors"] = device.errors_completed.value
+            if device.fault_injector is not None:
+                injectors_armed = True
+                shard_stats["faults"] = device.fault_injector.stats()
             per_shard.append(shard_stats)
+        # explicit `_total` rollups of the retry/fault/error family, so
+        # health tooling can read aggregates without summing per_shard
+        totals = {
+            "%s_total" % key: sum(s[key] for s in per_shard)
+            for key in (
+                "device_errors",
+                "io_errors",
+                "failed_ops",
+                "io_retries",
+                "io_escalations",
+                "lost_writes",
+            )
+        }
+        if injectors_armed:
+            fault_totals = {}
+            for shard_stats in per_shard:
+                for key, value in shard_stats.get("faults", {}).items():
+                    fault_totals[key] = fault_totals.get(key, 0) + value
+            totals["faults"] = fault_totals
         return {
+            **totals,
             "shards": self.n_shards,
             "partitioning": self.partitioning,
             "completed": sum(s["completed"] for s in per_shard),

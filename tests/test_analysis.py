@@ -200,7 +200,7 @@ def test_pa110_for_loop_over_set_literal(tmp_path):
         """
         def walk():
             for kind in {"read", "write"}:
-                print(kind)
+                yield kind
         """,
     )
     assert codes(findings) == ["PA110"]
@@ -625,6 +625,109 @@ def test_pa402_applies_in_tests_scope(tmp_path):
     assert codes(findings) == ["PA402"]
 
 
+def test_pa404_print_and_stream_writes(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import sys
+
+
+        def report(rows):
+            print(rows)
+            sys.stderr.write("boom")
+            sys.stdout.write("ok")
+        """,
+    )
+    assert codes(findings) == ["PA404", "PA404", "PA404"]
+    assert "print()" in findings[0].message
+
+
+def test_pa404_out_callable_default_is_clean(tmp_path):
+    # the repo's CLI idiom: a Name reference to print is not a call
+    findings = run_snippet(
+        tmp_path,
+        """
+        def report(rows, out=print):
+            for row in rows:
+                out(row)
+        """,
+    )
+    assert findings == []
+
+
+def test_pa404_only_in_src_scope(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def show(value):
+            print(value)
+        """,
+        scope="tests",
+    )
+    assert findings == []
+
+
+def test_pa404_suppressible(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def show(value):
+            print(value)  # patlint: ignore[PA404]
+        """,
+    )
+    assert findings == []
+
+
+def test_pa405_metric_name_hygiene(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def register(registry):
+            registry.counter("BadName_total", None)
+            registry.gauge("queue_depth", None)
+            registry.histogram("op_latency_ns", None)
+        """,
+    )
+    assert codes(findings) == ["PA405", "PA405"]
+    assert "snake_case" in findings[0].message
+    assert "unit suffix" in findings[1].message
+
+
+def test_pa405_attribute_receivers_and_metrics_alias(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        class Device:
+            def register(self):
+                self.registry.counter("reads", None)
+                self._metrics.gauge("Depth_count", None)
+        """,
+    )
+    assert codes(findings) == ["PA405", "PA405"]
+
+
+def test_pa405_ignores_other_receivers_and_dynamic_names(tmp_path):
+    # a tracer's counter(track, ...) and computed names are out of scope
+    findings = run_snippet(
+        tmp_path,
+        """
+        def emit(tracer, registry, name):
+            tracer.counter("track", "anything goes")
+            registry.counter(name, None)
+        """,
+    )
+    assert findings == []
+
+
+def test_pa405_suffixes_match_registry():
+    from repro.obs.metrics import METRIC_NAME_SUFFIXES as runtime
+    from tools.analysis.rules.observability import (
+        METRIC_NAME_SUFFIXES as linted,
+    )
+
+    assert runtime == linted
+
+
 # ---------------------------------------------------------------------------
 # framework: suppressions, parse failures, baseline, reporters
 # ---------------------------------------------------------------------------
@@ -862,6 +965,8 @@ def test_list_rules_catalog(capsys):
         "PA304",
         "PA401",
         "PA402",
+        "PA404",
+        "PA405",
         "PA901",
         "PA902",
     ):

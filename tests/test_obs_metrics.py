@@ -1,0 +1,376 @@
+"""Tests for the metrics & health subsystem (repro.obs.metrics et al).
+
+Covers the labeled registry (identity, ordering, kind conflicts, the
+null registry's zero-cost contract), the Prometheus and JSONL
+exporters, the virtual-time scraper, the SLO tracker, the flight
+recorder with its postmortems, and the end-to-end MetricsSession
+guarantees: artefacts are byte-identical across same-seed runs and an
+attached session never perturbs the simulation's results.
+"""
+
+import json
+
+import pytest
+
+from repro.api import PATreeSession, ShardedSession
+from repro.errors import RetryExhaustedError
+from repro.obs import (
+    DEFAULT_TARGETS_US,
+    FlightRecorder,
+    MetricError,
+    MetricRegistry,
+    MetricScraper,
+    NULL_REGISTRY,
+    SloTracker,
+    prometheus_text,
+)
+from repro.sim.clock import Clock, usec
+from repro.sim.engine import Engine
+from repro.workloads import YcsbWorkload
+from repro.sim.rng import RngRegistry
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_identity_is_name_plus_labels():
+    registry = MetricRegistry()
+    a = registry.counter("reads_total", {"shard": "0"})
+    b = registry.counter("reads_total", {"shard": "1"})
+    again = registry.counter("reads_total", {"shard": "0"})
+    assert a is again and a is not b
+    a.inc(3)
+    assert registry.get("reads_total", {"shard": "0"}).read() == 3
+    assert registry.get("reads_total", {"shard": "1"}).read() == 0
+
+
+def test_registry_label_order_does_not_split_identity():
+    registry = MetricRegistry()
+    a = registry.gauge("depth_count", {"a": 1, "b": 2})
+    b = registry.gauge("depth_count", {"b": 2, "a": 1})
+    assert a is b
+    assert a.flat == 'depth_count{a="1",b="2"}'
+
+
+def test_registry_iterates_in_registration_order():
+    registry = MetricRegistry()
+    registry.counter("z_total")
+    registry.gauge("a_count")
+    registry.counter("m_total")
+    assert [m.name for m in registry] == ["z_total", "a_count", "m_total"]
+
+
+def test_registry_rejects_kind_conflicts_and_bad_names():
+    registry = MetricRegistry()
+    registry.counter("reads_total")
+    with pytest.raises(MetricError):
+        registry.gauge("reads_total")
+    with pytest.raises(MetricError):
+        registry.counter("BadName_total")
+    with pytest.raises(MetricError):
+        registry.counter("reads")  # no unit suffix
+
+
+def test_callback_counters_read_live_values():
+    registry = MetricRegistry()
+    state = {"n": 0}
+    metric = registry.counter("events_total", fn=lambda: state["n"])
+    assert metric.read() == 0
+    state["n"] = 7
+    assert metric.read() == 7
+    assert registry.scalars() == {"events_total": 7}
+
+
+def test_null_registry_is_inert():
+    metric = NULL_REGISTRY.counter("anything at all")  # no validation
+    metric.inc()
+    metric.set(5)
+    metric.observe(123)
+    assert metric.read() == 0
+    assert NULL_REGISTRY.enabled is False
+    assert len(NULL_REGISTRY) == 0
+    assert NULL_REGISTRY.scalars() == {}
+    assert NULL_REGISTRY.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+
+
+def test_prometheus_text_shape():
+    registry = MetricRegistry()
+    registry.counter("reads_total", {"shard": "0"}, help="device reads").inc(4)
+    registry.counter("reads_total", {"shard": "1"}).inc(2)
+    registry.gauge("depth_count").set(9)
+    text = prometheus_text(registry)
+    lines = text.splitlines()
+    assert lines[0] == "# HELP reads_total device reads"
+    assert lines[1] == "# TYPE reads_total counter"
+    assert 'reads_total{shard="0"} 4' in lines
+    assert 'reads_total{shard="1"} 2' in lines
+    # one TYPE header per name, even with two label sets
+    assert sum(1 for l in lines if l.startswith("# TYPE reads_total")) == 1
+    assert "depth_count 9" in lines
+
+
+def test_prometheus_histogram_is_cumulative():
+    registry = MetricRegistry()
+    hist = registry.histogram("lat_ns", bounds=[1_000, 10_000])
+    for value in (500, 5_000, 50_000):
+        hist.observe(value)
+    lines = prometheus_text(registry).splitlines()
+    assert 'lat_ns_bucket{le="1.0"} 1' in lines
+    assert 'lat_ns_bucket{le="10.0"} 2' in lines
+    assert 'lat_ns_bucket{le="+Inf"} 3' in lines
+    assert "lat_ns_count 3" in lines
+
+
+def test_scraper_rides_virtual_time_and_stops():
+    engine = Engine(seed=1)
+    registry = MetricRegistry()
+    counter = registry.counter("ticks_total")
+    scraper = MetricScraper(engine, registry, interval_ns=1_000)
+    engine.schedule(500, counter.inc)
+    engine.schedule(2_500, counter.inc)
+    scraper.start()
+    engine.schedule(3_500, scraper.stop)
+    engine.run()
+    assert [t for t, _row in scraper.samples] == [1_000, 2_000, 3_000]
+    assert [row["ticks_total"] for _t, row in scraper.samples] == [1, 1, 2]
+
+
+def test_scraper_jsonl_round_trips(tmp_path):
+    engine = Engine(seed=1)
+    registry = MetricRegistry()
+    registry.gauge("depth_count", fn=lambda: 4)
+    scraper = MetricScraper(engine, registry, interval_ns=1_000)
+    scraper.start()
+    engine.schedule(2_500, scraper.stop)
+    engine.run()
+    path = scraper.write_jsonl(str(tmp_path / "m.jsonl"))
+    rows = [json.loads(line) for line in open(path)]
+    assert rows == [
+        {"t_ns": 1_000, "metrics": {"depth_count": 4}},
+        {"t_ns": 2_000, "metrics": {"depth_count": 4}},
+    ]
+
+
+# ----------------------------------------------------------------------
+# SLO tracker
+# ----------------------------------------------------------------------
+
+
+def test_slo_tracker_counts_violations_per_class():
+    registry = MetricRegistry()
+    slo = SloTracker(registry)
+    target_ns = usec(DEFAULT_TARGETS_US["search"])
+    slo.observe("search", target_ns - 1)
+    slo.observe("search", target_ns + 1)
+    slo.observe("range", usec(100.0))  # well under the range target
+    (search_row, range_row) = slo.table()
+    assert search_row["op"] == "search" and search_row["count"] == 2
+    assert search_row["violations"] == 1
+    assert range_row["violations"] == 0
+    assert slo.total_violations() == 1
+    # the registry view agrees with the table view
+    assert registry.get(
+        "slo_violations_total", {"op": "search"}
+    ).read() == 1
+
+
+def test_slo_tracker_shard_labels_split_cells():
+    slo = SloTracker(MetricRegistry())
+    slo.observe("search", usec(1_000.0), shard=0)
+    slo.observe("search", usec(1.0), shard=1)
+    rows = {row["shard"]: row for row in slo.table()}
+    assert rows["0"]["violations"] == 1
+    assert rows["1"]["violations"] == 0
+
+
+def test_slo_tracker_custom_targets():
+    slo = SloTracker(MetricRegistry(), targets_us={"search": 1.0})
+    slo.observe("search", usec(2.0))
+    assert slo.total_violations() == 1
+    # unknown classes fall back to the default target
+    assert slo.target_us("compact") == 1_000.0
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+
+
+class _Cmd:
+    def __init__(self, opcode="read", lba=7, retries=0):
+        self.opcode = opcode
+        self.lba = lba
+        self.retries = retries
+
+
+def test_flight_recorder_ring_is_bounded():
+    clock = Clock()
+    flight = FlightRecorder(clock, capacity=3)
+    for i in range(5):
+        clock.advance_to(i * 100)
+        flight.record_completion(_Cmd(lba=i), ok=True)
+    events = flight.events()
+    assert len(events) == 3
+    assert [e["lba"] for e in events] == [2, 3, 4]  # oldest dropped
+    summary = flight.summary()
+    assert summary["recorded_total"] == 5
+    assert summary["in_ring"] == 3
+    assert summary["by_kind"] == {"completion": 3}
+
+
+def test_flight_recorder_postmortem_names_the_failure():
+    clock = Clock()
+    flight = FlightRecorder(clock, capacity=8)
+    flight.record_completion(_Cmd(lba=42), ok=False, status="media_error")
+    error = RetryExhaustedError(
+        "read of lba 42 failed", status="media_error", opcode="read", lba=42
+    )
+    flight.record_error(error)
+    report = flight.postmortem(error, context={"op_seq": 5})
+    assert report["error"] == "RetryExhaustedError"
+    assert report["lba"] == 42 and report["op"] == "read"
+    assert report["context"] == {"op_seq": 5}
+    assert report["recent_events"][-1]["kind"] == "error"
+
+
+# ----------------------------------------------------------------------
+# MetricsSession end to end
+# ----------------------------------------------------------------------
+
+_FAULTS = {"read_error_rate": 0.3, "poison_ranges": ((40, 60),)}
+_RETRY = {"max_retries": 2}
+
+
+def _workload(seed, n_ops=250):
+    return YcsbWorkload(
+        2_000, n_ops, mix="default", rng=RngRegistry(seed).stream("workload")
+    )
+
+
+def _run_session(seed=3, metrics=True, **config):
+    workload = _workload(seed)
+    with PATreeSession(seed=seed, **config) as session:
+        recorder = session.attach_metrics() if metrics else None
+        session.bulk_load(workload.preload_items())
+        if recorder is not None:
+            recorder.start()
+        session.execute(workload.operations())
+        if recorder is not None:
+            recorder.finish()
+        stats = session.stats()
+    return stats, recorder
+
+
+def test_metrics_session_populates_every_layer():
+    _stats, recorder = _run_session()
+    scalars = recorder.registry.scalars()
+    for name in (
+        "device_reads_total",
+        "driver_retries_total",
+        "qpair_completed_total",
+        "latch_grants_total",
+        "buffer_hits_total",
+        "sched_ready_ops",
+        "engine_completed_total",
+        "engine_probes_total",
+    ):
+        assert name in scalars, name
+    assert scalars["engine_completed_total"] > 0
+    assert recorder.slo.table()  # at least one op class observed
+    assert recorder.flight.summary()["recorded_total"] > 0
+    assert recorder.scraper.samples
+
+
+def test_metrics_session_does_not_perturb_results():
+    bare, _ = _run_session(metrics=False)
+    observed, _ = _run_session(metrics=True)
+    assert bare == observed
+
+
+def test_metrics_session_restores_hooks_on_finish():
+    workload = _workload(3)
+    with PATreeSession(seed=3) as session:
+        device = session.env.device
+        before = device.on_complete
+        recorder = session.attach_metrics()
+        session.bulk_load(workload.preload_items())
+        recorder.start()
+        assert device.on_complete is not before
+        session.execute(workload.operations())
+        recorder.finish()
+        assert device.on_complete is before
+        assert session.pa_engine.op_observer is None
+
+
+def test_fault_run_captures_postmortems():
+    _stats, recorder = _run_session(faults=_FAULTS, retry=_RETRY)
+    assert recorder.postmortems
+    first = recorder.postmortems[0]
+    assert first["error"] in ("RetryExhaustedError", "IoError")
+    assert first["lba"] is not None and first["op"] is not None
+    assert recorder.registry.scalars()["fault_media_errors_total"] > 0
+
+
+def test_metrics_artifacts_byte_identical_across_same_seed_runs(tmp_path):
+    paths = []
+    for run in ("a", "b"):
+        _stats, recorder = _run_session(faults=_FAULTS, retry=_RETRY)
+        prefix = str(tmp_path / run)
+        paths.append(recorder.write_artifacts(prefix))
+    for first, second in zip(*paths):
+        assert open(first, "rb").read() == open(second, "rb").read()
+    assert len(paths[0]) == 3  # jsonl + prom + postmortem
+
+
+def test_sharded_session_metrics_carry_shard_labels():
+    workload = _workload(5)
+    with ShardedSession(seed=5, shards=2) as session:
+        recorder = session.attach_metrics()
+        session.bulk_load(workload.preload_items())
+        recorder.start()
+        session.execute(workload.operations())
+        recorder.finish()
+    scalars = recorder.registry.scalars()
+    assert 'engine_completed_total{shard="0"}' in scalars
+    assert 'engine_completed_total{shard="1"}' in scalars
+    assert "router_user_completed_total" in scalars
+    total = sum(
+        scalars['engine_completed_total{shard="%d"}' % i] for i in (0, 1)
+    )
+    assert total == scalars["router_user_completed_total"]
+
+
+def test_health_report_mentions_the_three_sections():
+    _stats, recorder = _run_session()
+    text = recorder.health_report()
+    assert "== health: metrics ==" in text
+    assert "== health: SLO ==" in text
+    assert "== health: flight recorder ==" in text
+
+
+def test_trace_and_metrics_sessions_coexist():
+    # attach a trace session and a metrics session to the same run to
+    # prove hook chaining keeps both observers fed
+    workload = _workload(3)
+    with PATreeSession(seed=3) as session:
+        from repro.obs import TraceSession
+
+        trace = TraceSession(session.env.engine)
+        trace.attach_device(session.env.device)
+        trace.attach_worker(session.pa_engine)
+        recorder = session.attach_metrics()
+        session.bulk_load(workload.preload_items())
+        trace.start()
+        recorder.start()
+        session.execute(workload.operations())
+        recorder.finish()
+        trace.finish()
+    assert trace.tracer.events
+    assert recorder.flight.summary()["recorded_total"] > 0

@@ -14,6 +14,7 @@ from repro.core.ops import (
 )
 from repro.errors import SchedulerError
 from repro.nvme.device import fast_test_profile
+from repro.nvme.driver import RetryPolicy
 from repro.obs import TraceSession
 from repro.shard import (
     HASH_PARTITIONING,
@@ -209,6 +210,43 @@ class TestDeterminismAndStats:
         # scattered parts count per shard; user ops count once
         assert stats["user_completed"] == 101
         assert stats["completed"] >= stats["user_completed"]
+
+    def test_total_rollups_sum_per_shard_error_family(self):
+        sharded = build(n_shards=4)
+        sharded.run_operations(
+            [search_op(k * 10) for k in range(1, 101)]
+        )
+        stats = sharded.stats()
+        for key in (
+            "device_errors",
+            "io_errors",
+            "failed_ops",
+            "io_retries",
+            "io_escalations",
+            "lost_writes",
+        ):
+            rollup = stats["%s_total" % key]
+            assert rollup == sum(s[key] for s in stats["per_shard"])
+        # fault-free build: no injectors, so no faults rollup key
+        assert "faults" not in stats
+
+    def test_faults_rollup_sums_across_armed_shards(self):
+        sharded = build(
+            n_shards=2,
+            preload=400,
+            faults={"read_error_rate": 0.2},
+            retry=RetryPolicy(max_retries=2),
+        )
+        sharded.run_operations(
+            [search_op(k * 10) for k in range(1, 201)]
+        )
+        stats = sharded.stats()
+        assert stats["faults"]["media_errors_injected"] > 0
+        for key, total in stats["faults"].items():
+            assert total == sum(
+                s["faults"][key] for s in stats["per_shard"]
+            )
+        assert stats["io_retries_total"] > 0
 
     def test_stats_returns_a_fresh_dict_every_call(self):
         sharded = build(n_shards=2, preload=100)

@@ -21,6 +21,7 @@ from .fault_paths import (
     StatusStringCompareRule,
 )
 from .api_contracts import StatsByReferenceRule, UnusedImportRule
+from .observability import ConsoleOutputRule, MetricNameRule
 
 RULE_CLASSES = (
     WallClockRule,
@@ -36,6 +37,8 @@ RULE_CLASSES = (
     IoStatusModelRule,
     StatsByReferenceRule,
     UnusedImportRule,
+    ConsoleOutputRule,
+    MetricNameRule,
 )
 
 #: Codes minted by the framework rather than by a rule class.
