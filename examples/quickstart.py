@@ -3,11 +3,11 @@
 
 Creates a tree on a simulated NVMe device, bulk loads a million-scale
 key space (scaled down here so the example runs in seconds), and
-exercises every primitive: point search, range search, insert, update,
-delete and sync.  The session facade hides the simulation: each call
-drives the polled-mode asynchronous working thread until the operation
-completes and returns its result, exactly like an ordinary embedded
-database API.
+exercises every primitive: point get, range scan, put, update, delete,
+sync and the batch verbs.  The session facade hides the simulation:
+each call drives the polled-mode asynchronous working thread until the
+operation completes and returns its result, exactly like an ordinary
+embedded database API.
 
 Run:  python examples/quickstart.py
 """
@@ -37,42 +37,39 @@ def main():
 
     # Point lookups.
     print("\npoint lookups:")
-    print("  search(500)    ->", session.search(500))
-    print("  search(501)    ->", session.search(501), "(absent)")
+    print("  get(500)       ->", session.get(500))
+    print("  get(501)       ->", session.get(501), "(absent)")
 
     # Upsert and overwrite.
     print("\nupserts:")
-    print("  insert(123457) ->", session.insert(123_457, payload(1)), "(new key)")
-    print("  insert(500)    ->", session.insert(500, payload(2)), "(overwrite)")
+    print("  put(123457)    ->", session.put(123_457, payload(1)), "(new key)")
+    print("  put(500)       ->", session.put(500, payload(2)), "(overwrite)")
     print("  update(123457) ->", session.update(123_457, payload(3)))
-    print("  search(123457) ->", session.search(123_457))
+    print("  get(123457)    ->", session.get(123_457))
 
     # Range scan over the ordered key space.
     print("\nrange scan [1000, 1100]:")
-    for key, value in session.range_search(1_000, 1_100):
+    for key, value in session.scan(1_000, 1_100):
         print("  %6d -> %s" % (key, value.hex()))
 
     # Deletes.
     print("\ndeletes:")
     print("  delete(500)    ->", session.delete(500))
-    print("  search(500)    ->", session.search(500))
+    print("  get(500)       ->", session.get(500))
 
-    # Batch execution: hundreds of concurrent operations interleaved by
-    # the single working thread, completions out of order.
-    from repro import insert_op, search_op
-
-    print("\nbatch of 2000 interleaved operations ...")
-    batch = []
-    for i in range(1_000):
-        # keys scattered across the existing key space: appending
-        # beyond the maximum key would funnel every insert through the
-        # rightmost leaf's exclusive latch and serialize the batch
-        key = ((i * 7_919) % 49_998 + 1) * 10 + 3
-        batch.append(insert_op(key, payload(key)))
-        batch.append(search_op((i % n + 1) * 10))
-    done = session.execute(batch)
-    hits = sum(1 for op in done if op.kind == "search" and op.result is not None)
-    print("  %d operations done, %d search hits" % (len(done), hits))
+    # Batch verbs: one planned operation per key vector — the keys are
+    # sorted once, grouped by target leaf in a single shared descent,
+    # and sibling page writes coalesce into vectored device commands.
+    print("\nbatch verbs (2000 keys per call) ...")
+    # keys scattered across the existing key space: appending beyond
+    # the maximum key would funnel every put through the rightmost
+    # leaf's exclusive latch and serialize the batch
+    put_keys = [((i * 7_919) % 49_998 + 1) * 10 + 3 for i in range(2_000)]
+    flags = session.put_many((k, payload(k)) for k in put_keys)
+    got = session.get_many((i % n + 1) * 10 for i in range(2_000))
+    hits = sum(1 for value in got if value is not None)
+    print("  put_many: %d new keys, get_many: %d hits" % (sum(flags), hits))
+    print("  leaf groups planned: %d" % session.stats()["batch_groups"])
 
     stats = session.stats()
     print("\nsession statistics:")

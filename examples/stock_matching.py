@@ -45,7 +45,7 @@ class MatchingEngine:
         """Rest an ask (sell order) on the book."""
         self._seq += 1
         key = order_key(stock, price_tick, self._seq)
-        self.session.insert(key, order_payload(volume, trader))
+        self.session.put(key, order_payload(volume, trader))
         return key
 
     def place_bid(self, stock, limit_tick, volume, trader):
@@ -54,7 +54,7 @@ class MatchingEngine:
         # cheapest (and oldest at equal price) asks come first: the
         # composite key sorts by price then sequence
         remaining = volume
-        for ask_key, payload in self.session.range_search(low, high, limit=32):
+        for ask_key, payload in self.session.scan(low, high, limit=32):
             if remaining == 0:
                 break
             ask_volume = decode_volume(payload)

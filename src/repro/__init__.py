@@ -52,13 +52,20 @@ from repro.core import (
     sync_op,
     update_op,
 )
-from repro.errors import IoError, ReproError, RetryExhaustedError
+from repro.core.ops import OpResult, OpSpec, batch_op
+from repro.errors import (
+    BatchError,
+    BulkLoadError,
+    IoError,
+    ReproError,
+    RetryExhaustedError,
+)
 from repro.faults import FaultConfig
 from repro.nvme.command import IoStatus
 from repro.nvme.driver import RetryPolicy
 from repro.shard import ShardedPaTree
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PATreeSession",
@@ -70,9 +77,14 @@ __all__ = [
     "PaTree",
     "PaTreeEngine",
     "ShardedPaTree",
+    "OpSpec",
+    "OpResult",
+    "batch_op",
     "ReproError",
     "IoError",
     "RetryExhaustedError",
+    "BatchError",
+    "BulkLoadError",
     "IoStatus",
     "FaultConfig",
     "RetryPolicy",

@@ -14,6 +14,19 @@ All sessions share one shape:
 * construction from a :class:`SessionConfig` (or the equivalent
   keyword arguments — both spellings work and may be mixed, keywords
   winning),
+* a batch-first data plane: :meth:`~BaseSession.put_many` /
+  :meth:`~BaseSession.get_many` / :meth:`~BaseSession.delete_many`
+  vector whole key sets through one planned batch operation (keys
+  grouped by target leaf during a shared descent, one latch
+  acquisition per group, sibling page writes coalesced into vectored
+  device commands); the single-op verbs ``put`` / ``get`` /
+  ``delete`` are size-1 batches over the same code path, and
+  :meth:`~BaseSession.scan` walks a key range,
+* a canonical :meth:`~BaseSession.execute` contract over
+  :class:`~repro.core.ops.OpSpec` records returning
+  :class:`~repro.core.ops.OpResult` records (raw
+  :class:`~repro.core.ops.Operation` lists — the historical
+  spelling — still work),
 * context-manager support (``with PATreeSession(seed=7) as s: ...``)
   and an idempotent :meth:`~BaseSession.close`,
 * dict-style sugar: ``s[key] = payload``, ``s[key]``, ``key in s``,
@@ -31,6 +44,7 @@ paradigms, open-loop arrival), use the underlying pieces directly; the
 benchmark harness in ``repro.bench`` shows how.
 """
 
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.buffer import make_buffer
@@ -40,16 +54,16 @@ from repro.core.engine import (
     PaTreeEngine,
 )
 from repro.core.ops import (
-    delete_op,
-    insert_op,
+    OpResult,
+    OpSpec,
+    batch_op,
     range_op,
-    search_op,
     sync_op,
     update_op,
 )
 from repro.core.source import ClosedLoopSource
-from repro.core.tree import PaTree
-from repro.errors import ReproError
+from repro.core.tree import PaTree, check_bulk_items
+from repro.errors import BatchError, ReproError
 from repro.nvme.device import NvmeDevice, i3_nvme_profile
 from repro.nvme.driver import NvmeDriver, RetryPolicy
 from repro.sched import make_scheduler
@@ -152,11 +166,14 @@ class BaseSession:
     """Common machinery of every blocking session facade.
 
     Subclasses set ``default_config`` (their knob defaults) and
-    implement ``_build(config)``, ``execute(operations)``, ``_get``
-    and ``_put``.  The base class provides configuration merging (a
+    implement ``_build(config)`` and ``_execute_ops(operations)`` —
+    the one hook that drives raw operations through their engine.  The
+    base class provides everything else: configuration merging (a
     ``SessionConfig``, keyword overrides, or a bare int treated as a
-    seed for backward compatibility), ``close()`` / context-manager
-    support, and the dict-style sugar.
+    seed for backward compatibility), the batch-first verbs (single
+    ops are size-1 batches), the :class:`~repro.core.ops.OpSpec`
+    execute contract, ``close()`` / context-manager support, and the
+    dict-style sugar.
     """
 
     default_config = SessionConfig()
@@ -210,16 +227,44 @@ class BaseSession:
         if self.closed:
             raise ReproError("session is closed")
 
-    # -- data plane (shared verbs) -------------------------------------
+    # -- data plane (canonical execute contract) -----------------------
 
     def execute(self, operations):
-        """Run a batch of operations to completion; returns them.
+        """Run a batch of specs (or raw operations) to completion.
 
-        Batch execution never raises for per-operation I/O failures:
-        each failed operation carries its typed error in ``op.error``
-        (and ``op.result`` is None).  The single-operation verbs below
-        *do* raise that error.
+        Two input shapes are accepted:
+
+        * a list of :class:`~repro.core.ops.OpSpec` records — the
+          canonical contract.  Returns a matching list of
+          :class:`~repro.core.ops.OpResult` records in input order;
+          per-operation failures are carried in ``result.error``,
+          never raised.
+        * a list of raw :class:`~repro.core.ops.Operation` objects
+          (the historical spelling) — returned as-is with
+          ``op.result`` / ``op.error`` filled in.
+
+        Mixing the two shapes in one call raises
+        :class:`~repro.errors.ReproError`.  The single-operation and
+        ``*_many`` verbs below *do* raise on failure.
         """
+        self._check_open()
+        items = list(operations)
+        spec_flags = [isinstance(item, OpSpec) for item in items]
+        if any(spec_flags):
+            if not all(spec_flags):
+                raise ReproError(
+                    "execute() cannot mix OpSpec and Operation inputs"
+                )
+            ops = [spec.to_operation() for spec in items]
+            self._execute_ops(ops)
+            return [
+                OpResult(spec.verb, spec.key, op.result, op.error)
+                for spec, op in zip(items, ops)
+            ]
+        return self._execute_ops(items)
+
+    def _execute_ops(self, operations):
+        """Drive raw operations through the engine; returns them."""
         raise NotImplementedError
 
     @staticmethod
@@ -229,38 +274,136 @@ class BaseSession:
             raise op.error
         return op.result
 
-    def search(self, key):
-        """Point lookup; returns the payload bytes or None."""
-        (op,) = self.execute([search_op(key)])
-        return self._result(op)
+    # -- batch pipeline ------------------------------------------------
 
-    def range_search(self, low, high, limit=0):
-        """All (key, payload) pairs with low <= key <= high."""
-        (op,) = self.execute([range_op(low, high, limit=limit)])
-        return self._result(op)
+    def _run_batch(self, specs):
+        """Run specs as one planned batch operation.
 
-    def insert(self, key, payload):
+        Returns the per-spec result vector; raises
+        :class:`~repro.errors.BatchError` naming the failing spec when
+        an I/O failure aborts the batch.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        op = batch_op(specs)
+        self._execute_ops([op])
+        if op.error is not None:
+            index = op.cursor if 0 <= op.cursor < len(specs) else 0
+            raise self._batch_error(op.error, specs[index], index)
+        return op.result
+
+    def _single(self, spec):
+        """Single-op verbs are size-1 batches: one code path end to end."""
+        op = batch_op([spec])
+        self._execute_ops([op])
+        if op.error is not None:
+            raise op.error
+        return op.result[0]
+
+    @staticmethod
+    def _batch_error(cause, spec, index):
+        """Wrap a mid-batch failure, naming the spec it stopped at."""
+        error = BatchError(
+            "batch aborted at %s(key=%d): %s" % (spec.verb, spec.key, cause),
+            status=getattr(cause, "status", None),
+            opcode=getattr(cause, "opcode", None),
+            lba=getattr(cause, "lba", None),
+            key=spec.key,
+            index=index,
+        )
+        error.__cause__ = cause
+        return error
+
+    def put_many(self, items):
+        """Vectored upsert of (key, payload) pairs.
+
+        Returns one bool per pair in input order (True when the key
+        was new).  Keys are sorted and grouped by target leaf during
+        one shared descent; each leaf is latched once per group, the
+        group is applied as one vectored in-node operation and sibling
+        page writes coalesce into vectored device commands — far fewer
+        latch round-trips and doorbells than per-key calls.
+        """
+        return self._run_batch(
+            [OpSpec.put(key, payload) for key, payload in items]
+        )
+
+    def get_many(self, keys):
+        """Vectored point lookup; one payload-or-None per key."""
+        return self._run_batch([OpSpec.get(key) for key in keys])
+
+    def delete_many(self, keys):
+        """Vectored delete; one was-present bool per key."""
+        return self._run_batch([OpSpec.delete(key) for key in keys])
+
+    # -- single-op verbs (size-1 batches) ------------------------------
+
+    def put(self, key, payload):
         """Upsert; returns True when the key was new."""
-        (op,) = self.execute([insert_op(key, payload)])
-        return self._result(op)
+        return self._single(OpSpec.put(key, payload))
+
+    def get(self, key):
+        """Point lookup; returns the payload bytes or None."""
+        return self._single(OpSpec.get(key))
 
     def delete(self, key):
         """Remove a key; returns True when it was present."""
-        (op,) = self.execute([delete_op(key)])
+        return self._single(OpSpec.delete(key))
+
+    def scan(self, low, high, limit=0):
+        """All (key, payload) pairs with low <= key <= high."""
+        (op,) = self._execute_ops([range_op(low, high, limit=limit)])
+        return self._result(op)
+
+    def update(self, key, payload):
+        """Overwrite an existing key; returns True when found."""
+        (op,) = self._execute_ops([update_op(key, payload)])
         return self._result(op)
 
     def sync(self):
         """Flush buffered updates (weak persistence); returns count."""
-        (op,) = self.execute([sync_op()])
+        (op,) = self._execute_ops([sync_op()])
         return self._result(op)
+
+    # -- deprecated aliases --------------------------------------------
+
+    _warned_aliases = set()
+
+    @staticmethod
+    def _warn_alias(old, new):
+        """Emit one DeprecationWarning per alias per process."""
+        if old in BaseSession._warned_aliases:
+            return
+        BaseSession._warned_aliases.add(old)
+        warnings.warn(
+            "Session.%s() is deprecated; use %s()" % (old, new),
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def search(self, key):
+        """Deprecated alias for :meth:`get`."""
+        self._warn_alias("search", "get")
+        return self.get(key)
+
+    def insert(self, key, payload):
+        """Deprecated alias for :meth:`put`."""
+        self._warn_alias("insert", "put")
+        return self.put(key, payload)
+
+    def range_search(self, low, high, limit=0):
+        """Deprecated alias for :meth:`scan`."""
+        self._warn_alias("range_search", "scan")
+        return self.scan(low, high, limit)
 
     # -- dict-style sugar ----------------------------------------------
 
     def _get(self, key):
-        return self.search(key)
+        return self.get(key)
 
     def _put(self, key, payload):
-        self.insert(key, payload)
+        self.put(key, payload)
 
     def __getitem__(self, key):
         value = self._get(key)
@@ -351,19 +494,14 @@ class PATreeSession(BaseSession):
         self._check_open()
         self.tree.bulk_load(items, fill_factor)
 
-    def execute(self, operations):
-        """Run a batch of operations to completion; returns them."""
+    def _execute_ops(self, operations):
+        """Run raw operations through the polled engine; returns them."""
         self._check_open()
         operations = list(operations)
         engine = self.pa_engine
         engine.reset_source(ClosedLoopSource(operations, window=self.window))
         engine.run_to_completion()
         return operations
-
-    def update(self, key, payload):
-        """Overwrite an existing key; returns True when found."""
-        (op,) = self.execute([update_op(key, payload)])
-        return self._result(op)
 
     # ------------------------------------------------------------------
     # introspection
@@ -436,26 +574,38 @@ class AsyncLsmSession(BaseSession):
         )
 
     def bulk_load(self, items):
-        """Offline build of level-1 runs from sorted unique items."""
+        """Offline build of level-1 runs from unique (key, bytes) pairs.
+
+        Unlike the tree sessions the input may arrive unsorted (runs
+        are built from the sorted view), but duplicate keys are
+        rejected with the same typed :class:`~repro.errors.BulkLoadError`.
+        """
         self._check_open()
-        self.store.bulk_load(sorted(items))
+        self.store.bulk_load(check_bulk_items(sorted(items)))
         self.store.resize_block_cache(max(self.store.data_pages() // 10, 64))
 
-    def execute(self, operations):
+    def _execute_ops(self, operations):
         self._check_open()
         return self.worker.run_operations(list(operations), window=self.window)
 
-    def put(self, key, payload):
-        (op,) = self.execute([insert_op(key, payload)])
-        return self._result(op)
+    # The LSM worker executes per-key state machines — there is no
+    # shared-descent batch plan to vector through — so the batch verbs
+    # map spec-wise onto single operations with the same contract.
 
-    def get(self, key):
-        (op,) = self.execute([search_op(key)])
-        return self._result(op)
+    def _run_batch(self, specs):
+        specs = list(specs)
+        if not specs:
+            return []
+        ops = [spec.to_operation() for spec in specs]
+        self._execute_ops(ops)
+        for index, (spec, op) in enumerate(zip(specs, ops)):
+            if op.error is not None:
+                raise self._batch_error(op.error, spec, index)
+        return [op.result for op in ops]
 
-    # dict sugar routes through the LSM verbs
-    _get = get
-    _put = put
+    def _single(self, spec):
+        (op,) = self._execute_ops([spec.to_operation()])
+        return self._result(op)
 
     def stats(self):
         """Worker statistics; fresh dict per call, cumulative counters."""
@@ -518,16 +668,11 @@ class ShardedSession(BaseSession):
         self._check_open()
         self.sharded.bulk_load(items, fill_factor)
 
-    def execute(self, operations):
+    def _execute_ops(self, operations):
         self._check_open()
         return self.sharded.run_operations(
             list(operations), window=self.window
         )
-
-    def update(self, key, payload):
-        """Overwrite an existing key; returns True when found."""
-        (op,) = self.execute([update_op(key, payload)])
-        return self._result(op)
 
     def __len__(self):
         return self.sharded.key_count

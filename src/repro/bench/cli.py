@@ -20,6 +20,7 @@ import os
 import sys
 
 from repro.bench.experiments import (
+    batch_pipeline,
     faults_injection,
     fig3_device,
     fig7_fig8,
@@ -34,6 +35,16 @@ from repro.bench.experiments import (
 )
 
 _EXHIBITS = {
+    "batch": (
+        "Batch pipeline: vectored ops/sec vs batch size",
+        lambda args, out: batch_pipeline.report(
+            batch_pipeline.run_experiment(
+                n_specs=args.ops or 2_048, seed=args.seed
+            ),
+            out=out,
+            json_dir=args.out or "benchmarks/results",
+        ),
+    ),
     "fig3": ("Fig 3: NVMe device characterization", lambda args, out: fig3_device.report(out=out)),
     "fig7": (
         "Fig 7/8: throughput + latency vs threads",

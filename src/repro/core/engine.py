@@ -15,9 +15,11 @@ PAD / PAD+ variants (Fig 11).
 
 from collections import deque
 
+from repro.core.batch import vector_cost_ns
 from repro.core.latch import LatchTable
 from repro.core.node import Node
 from repro.core.ops import (
+    BATCH,
     ChargeEff,
     LatchEff,
     ReadEff,
@@ -28,6 +30,7 @@ from repro.core.ops import (
     SYNC,
     SyncEff,
     UnlatchEff,
+    UnlatchManyEff,
     WriteEff,
 )
 from repro.core.plans import make_plan
@@ -145,6 +148,14 @@ class PaTreeEngine:
         self.idle_yields = Counter()
         self.idle_spins = Counter()
         self.latch_wait_events = Counter()
+        # batch pipeline accounting: completed batched ops, the specs
+        # they carried, the leaf groups they formed, and page writes
+        # that rode a coalesced command vector instead of their own
+        # doorbell
+        self.batch_ops = Counter()
+        self.batch_keys = Counter()
+        self.batch_groups = Counter()
+        self.coalesced_writes = Counter()
         # error-path accounting: failures the driver delivered to us,
         # operations aborted with a typed error, write re-drives, and
         # writes abandoned at the escalation cap
@@ -398,6 +409,17 @@ class PaTreeEngine:
                     waiter.state = ST_READY
                     self.policy.on_ready(waiter)
 
+            elif kind is UnlatchManyEff:
+                page_ids = effect.page_ids
+                yield Cpu(
+                    vector_cost_ns(costs.latch_release_ns, len(page_ids)),
+                    CPU_SYNC,
+                )
+                woken = self.latches.release_many(op, page_ids)
+                for waiter in woken:
+                    waiter.state = ST_READY
+                    self.policy.on_ready(waiter)
+
             elif kind is ReadEff:
                 result = yield from self._read_page(op, effect.page_id)
                 if result is None:
@@ -471,6 +493,33 @@ class PaTreeEngine:
                     self._submit_page_write(victim_id, victim_data, None)
             return False
 
+        if effect.coalesce and len(images) > 1:
+            # Batch path: one command vector, one doorbell.  Pages with
+            # a write already in flight join that page's serialization
+            # chain exactly like the scalar path.
+            immediate = []
+            count = 0
+            for page_id, data in images:
+                pending = self._writes_in_flight.get(page_id)
+                if pending is not None:
+                    pending.append((data, op))
+                else:
+                    self._writes_in_flight[page_id] = deque()
+                    immediate.append((page_id, data))
+                count += 1
+            if immediate:
+                yield Cpu(
+                    self.driver.submit_many_cpu_ns(len(immediate)), CPU_NVME
+                )
+                commands = self.driver.write_many(
+                    self.qpair, immediate, callback=self._on_io_done, context=op
+                )
+                for command in commands:
+                    self.io_history.on_submit(command)
+                self.coalesced_writes.add(len(immediate) - 1)
+            op.io_remaining = count
+            return count > 0
+
         count = 0
         for page_id, data in images:
             yield Cpu(self.driver.submit_cpu_ns, CPU_NVME)
@@ -512,6 +561,10 @@ class PaTreeEngine:
         self.inflight -= 1
         self.completed.add()
         self.completed_by_kind[op.kind] = self.completed_by_kind.get(op.kind, 0) + 1
+        if op.kind == BATCH:
+            self.batch_ops.add()
+            self.batch_keys.add(len(op.specs or ()))
+            self.batch_groups.add(op.groups)
         if op.kind != SYNC and op.error is None:
             self.user_completed += 1
             self.last_user_done_ns = op.done_ns
@@ -821,6 +874,35 @@ class PaTreeEngine:
             fn=lambda: self.latch_wait_events.value,
             help="operations that entered the latch-wait state",
         )
+        registry.counter(
+            "batch_ops_total", labels,
+            fn=lambda: self.batch_ops.value,
+            help="batched operations completed",
+        )
+        registry.counter(
+            "batch_keys_total", labels,
+            fn=lambda: self.batch_keys.value,
+            help="specs carried by completed batched operations",
+        )
+        registry.counter(
+            "batch_groups_total", labels,
+            fn=lambda: self.batch_groups.value,
+            help="leaf groups formed by completed batched operations",
+        )
+        registry.gauge(
+            "batch_group_size", labels,
+            fn=lambda: (
+                self.batch_keys.value / self.batch_groups.value
+                if self.batch_groups.value
+                else 0.0
+            ),
+            help="mean specs per leaf group across completed batches",
+        )
+        registry.counter(
+            "engine_coalesced_writes_total", labels,
+            fn=lambda: self.coalesced_writes.value,
+            help="page writes that shared a coalesced command vector",
+        )
         registry.gauge(
             "engine_inflight_ops", labels,
             fn=lambda: self.inflight,
@@ -841,7 +923,7 @@ class PaTreeEngine:
 
     def stats(self):
         """Totals snapshot; harnesses diff two snapshots for a window."""
-        return {
+        out = {
             "completed": self.completed.value,
             "completed_by_kind": dict(self.completed_by_kind),
             "probes": self.probes.value,
@@ -855,3 +937,11 @@ class PaTreeEngine:
             "io_escalations": self.io_escalations.value,
             "lost_writes": self.lost_writes.value,
         }
+        # batch keys appear only when batches actually ran, keeping
+        # single-op artifacts bit-for-bit identical
+        if self.batch_ops.value:
+            out["batch_ops"] = self.batch_ops.value
+            out["batch_keys"] = self.batch_keys.value
+            out["batch_groups"] = self.batch_groups.value
+            out["coalesced_writes"] = self.coalesced_writes.value
+        return out

@@ -120,6 +120,18 @@ class LatchTable:
         op.held_latches[page_id] = mode
         self.grants += 1
 
+    def release_many(self, op, page_ids):
+        """Release several of ``op``'s latches in one amortized step.
+
+        Used by the batch plan to drop a whole retained descent path at
+        once.  Returns the concatenated woken-operation lists in page
+        order, preserving each pending queue's FIFO fairness.
+        """
+        woken = []
+        for page_id in page_ids:
+            woken.extend(self.release(op, page_id))
+        return woken
+
     # ------------------------------------------------------------------
     # introspection (tests / stats)
     # ------------------------------------------------------------------

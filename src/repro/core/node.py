@@ -192,6 +192,55 @@ class Node:
         return bisect.bisect_left(self.keys, low)
 
     # ------------------------------------------------------------------
+    # vectorized leaf operations (batch pipeline)
+    # ------------------------------------------------------------------
+
+    def leaf_lookup_many(self, keys):
+        """Payloads for a sorted key vector; None where absent.
+
+        Each probe resumes the bisect from the previous hit, so a
+        group lookup is one monotone sweep instead of ``len(keys)``
+        independent searches.
+        """
+        out = []
+        own = self.keys
+        lo = 0
+        for key in keys:
+            lo = bisect.bisect_left(own, key, lo)
+            if lo < len(own) and own[lo] == key:
+                out.append(self.values[lo])
+            else:
+                out.append(None)
+        return out
+
+    def leaf_apply_many(self, changes):
+        """Merge sorted ``(key, payload-or-None)`` changes in one pass.
+
+        ``None`` deletes the key; a payload upserts it.  Returns the
+        merged ``(keys, values)`` lists WITHOUT mutating the node, so
+        the caller can decide how to distribute an overflow across
+        split siblings (or detect underflow) before committing.
+        """
+        out_keys = []
+        out_values = []
+        old_keys = self.keys
+        old_values = self.values
+        lo = 0
+        for key, value in changes:
+            hi = bisect.bisect_left(old_keys, key, lo)
+            out_keys += old_keys[lo:hi]
+            out_values += old_values[lo:hi]
+            if hi < len(old_keys) and old_keys[hi] == key:
+                hi += 1
+            if value is not None:
+                out_keys.append(key)
+                out_values.append(bytes(value))
+            lo = hi
+        out_keys += old_keys[lo:]
+        out_values += old_values[lo:]
+        return out_keys, out_values
+
+    # ------------------------------------------------------------------
     # inner operations
     # ------------------------------------------------------------------
 

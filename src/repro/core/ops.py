@@ -25,8 +25,20 @@ INSERT = "insert"
 UPDATE = "update"
 DELETE = "delete"
 SYNC = "sync"
+BATCH = "batch"
 
-UPDATE_KINDS = frozenset((INSERT, UPDATE, DELETE, SYNC))
+UPDATE_KINDS = frozenset((INSERT, UPDATE, DELETE, SYNC, BATCH))
+
+# Canonical session verbs (the OpSpec vocabulary).  DELETE/UPDATE/SYNC
+# double as verbs; PUT/GET/SCAN are the batch-first spellings of
+# insert/search/range.
+PUT = "put"
+GET = "get"
+SCAN = "scan"
+
+#: Verbs that may appear inside a batched operation.  SCAN/UPDATE/SYNC
+#: run as standalone operations (a scan has no single target leaf).
+BATCH_VERBS = frozenset((PUT, GET, DELETE))
 
 # Operation scheduling states
 ST_READY = "ready"
@@ -60,6 +72,20 @@ class UnlatchEff(Effect):
         self.page_id = page_id
 
 
+class UnlatchManyEff(Effect):
+    """Release the latches held on ``page_ids`` in one amortized step.
+
+    Used by the batch plan when it drops a whole retained descent path
+    at once: the engine charges one full release plus a discounted
+    per-latch increment instead of a full release per page.
+    """
+
+    __slots__ = ("page_ids",)
+
+    def __init__(self, page_ids):
+        self.page_ids = list(page_ids)
+
+
 class ReadEff(Effect):
     """Read a node page; resumes with the parsed :class:`Node`."""
 
@@ -81,11 +107,15 @@ class WriteEff(Effect):
     second, so a crash between waves never leaves dangling pointers.
     """
 
-    __slots__ = ("nodes", "write_meta")
+    __slots__ = ("nodes", "write_meta", "coalesce")
 
-    def __init__(self, nodes, write_meta=False):
+    def __init__(self, nodes, write_meta=False, coalesce=False):
         self.nodes = list(nodes)
         self.write_meta = write_meta
+        # coalesce=True lets the engine submit the whole wave as one
+        # command vector (single doorbell); only the batch plan opts in
+        # so single-op timing stays bit-for-bit identical.
+        self.coalesce = coalesce
 
 
 class ChargeEff(Effect):
@@ -125,6 +155,10 @@ class Operation:
         "admit_ns",
         "done_ns",
         "on_complete",
+        "specs",
+        "groups",
+        "cursor",
+        "spec_indices",
     )
 
     def __init__(self, kind, key=0, payload=None, high_key=None, limit=0):
@@ -147,6 +181,14 @@ class Operation:
         self.admit_ns = None
         self.done_ns = None
         self.on_complete = None
+        # batch state: the OpSpec list, how many leaf groups the plan
+        # touched, the input index of the spec currently being applied
+        # (failing-key attribution), and — on a sharded sub-batch —
+        # which parent indices this part covers.
+        self.specs = None
+        self.groups = 0
+        self.cursor = -1
+        self.spec_indices = None
 
     @property
     def is_update(self):
@@ -198,5 +240,112 @@ def delete_op(key, on_complete=None):
 
 def sync_op(on_complete=None):
     op = Operation(SYNC)
+    op.on_complete = on_complete
+    return op
+
+
+class OpSpec:
+    """Canonical description of one logical operation (session contract).
+
+    Every session verb builds ``OpSpec``s and every ``execute()`` accepts
+    them; ``put``/``get``/``delete`` specs may additionally be packed
+    into one batched operation via :func:`batch_op`.
+    """
+
+    __slots__ = ("verb", "key", "payload", "high_key", "limit")
+
+    def __init__(self, verb, key=0, payload=None, high_key=None, limit=0):
+        self.verb = verb
+        self.key = key
+        self.payload = payload
+        self.high_key = high_key
+        self.limit = limit
+
+    @classmethod
+    def put(cls, key, payload):
+        return cls(PUT, key=key, payload=payload)
+
+    @classmethod
+    def get(cls, key):
+        return cls(GET, key=key)
+
+    @classmethod
+    def delete(cls, key):
+        return cls(DELETE, key=key)
+
+    @classmethod
+    def update(cls, key, payload):
+        return cls(UPDATE, key=key, payload=payload)
+
+    @classmethod
+    def scan(cls, low, high, limit=0):
+        return cls(SCAN, key=low, high_key=high, limit=limit)
+
+    @classmethod
+    def sync(cls):
+        return cls(SYNC)
+
+    def to_operation(self, on_complete=None):
+        """The standalone :class:`Operation` equivalent of this spec."""
+        if self.verb == PUT:
+            return insert_op(self.key, self.payload, on_complete)
+        if self.verb == GET:
+            return search_op(self.key, on_complete)
+        if self.verb == DELETE:
+            return delete_op(self.key, on_complete)
+        if self.verb == UPDATE:
+            return update_op(self.key, self.payload, on_complete)
+        if self.verb == SCAN:
+            return range_op(self.key, self.high_key, self.limit, on_complete)
+        if self.verb == SYNC:
+            return sync_op(on_complete)
+        raise ValueError("unknown verb %r" % (self.verb,))
+
+    def __repr__(self):
+        return "OpSpec(%s key=%d)" % (self.verb, self.key)
+
+
+class OpResult:
+    """Outcome of one :class:`OpSpec` (session contract).
+
+    ``value`` carries the verb's natural result: payload-or-None for a
+    get, was-new for a put, was-present for a delete/update, the row
+    list for a scan, the flushed-page count for a sync.  ``error`` is
+    the typed exception when the operation failed.
+    """
+
+    __slots__ = ("verb", "key", "value", "error")
+
+    def __init__(self, verb, key, value, error=None):
+        self.verb = verb
+        self.key = key
+        self.value = value
+        self.error = error
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def __repr__(self):
+        state = "ok" if self.error is None else "error=%r" % (self.error,)
+        return "OpResult(%s key=%d %s)" % (self.verb, self.key, state)
+
+
+def batch_op(specs, on_complete=None):
+    """Pack put/get/delete specs into one batched operation.
+
+    The batch plan sorts the specs by key, shares one descent per leaf
+    group, applies each group with the vectorized node helpers, and
+    coalesces the group's page writes into one command vector.
+    ``op.result`` is a list aligned with ``specs`` (input order).
+    """
+    from repro.errors import TreeError
+
+    specs = list(specs)
+    for spec in specs:
+        if spec.verb not in BATCH_VERBS:
+            raise TreeError("verb %r cannot be batched" % (spec.verb,))
+    op = Operation(BATCH, key=specs[0].key if specs else 0)
+    op.specs = specs
     op.on_complete = on_complete
     return op

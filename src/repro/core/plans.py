@@ -22,9 +22,11 @@ rightmost child with no right sibling is allowed to stay underfull —
 the same lazy-deletion trade-off PostgreSQL makes.
 """
 
+from repro.core.batch import batch_plan
 from repro.core.latch import EXCLUSIVE, SHARED
 from repro.core.node import NO_PAGE, Node
 from repro.core.ops import (
+    BATCH,
     ChargeEff,
     DELETE,
     INSERT,
@@ -56,6 +58,8 @@ def make_plan(op, tree):
         return _delete_plan(op, tree)
     if op.kind == SYNC:
         return _sync_plan(op, tree)
+    if op.kind == BATCH:
+        return batch_plan(op, tree)
     raise TreeError("unknown operation kind %r" % (op.kind,))
 
 

@@ -12,8 +12,23 @@ from repro.core.costs import DEFAULT_COSTS
 from repro.core.keys import check_key
 from repro.core.meta import META_PAGE, TreeMeta
 from repro.core.node import NO_PAGE, Node, TreeConfig
-from repro.errors import TreeError
+from repro.errors import BulkLoadError, TreeError
 from repro.storage.allocator import PageAllocator
+
+
+def check_bulk_items(items):
+    """Validate bulk-load input: valid, sorted, unique keys.
+
+    Shared by every ``bulk_load`` entry point (tree, LSM store, sharded
+    router) so they all reject bad input with the same typed error.
+    Returns the materialized list.
+    """
+    items = list(items)
+    for (key, _payload) in items:
+        check_key(key)
+    if any(items[i][0] >= items[i + 1][0] for i in range(len(items) - 1)):
+        raise BulkLoadError("bulk_load input must be sorted and unique")
+    return items
 
 
 class PaTree:
@@ -133,11 +148,7 @@ class PaTree:
             raise TreeError("bulk_load requires an empty tree")
         if not 0.1 <= fill_factor <= 1.0:
             raise TreeError("fill_factor %r outside [0.1, 1.0]" % fill_factor)
-        items = list(items)
-        for (key, _payload) in items:
-            check_key(key)
-        if any(items[i][0] >= items[i + 1][0] for i in range(len(items) - 1)):
-            raise TreeError("bulk_load input must be sorted and unique")
+        items = check_bulk_items(items)
         if not items:
             return
         config = self.config

@@ -16,7 +16,9 @@ can catch a single base class at the API boundary.  The tree::
     │   └── CorruptPageError
     ├── TreeError                (B+ tree invariants / bad input)
     │   ├── KeyEncodingError
-    │   └── LatchError
+    │   ├── LatchError
+    │   └── BulkLoadError        (unsorted/duplicate bulk-load input)
+    ├── BatchError               (a batched operation aborted mid-flight)
     ├── SchedulerError
     ├── WorkloadError
     └── BenchmarkError
@@ -69,6 +71,25 @@ class RetryExhaustedError(IoError):
     """An I/O kept failing through the bounded retry/backoff budget."""
 
 
+class BatchError(IoError):
+    """A batched operation aborted mid-flight.
+
+    Subclasses :class:`IoError` so existing ``except IoError`` recovery
+    paths keep working; additionally names the failing spec: ``key`` is
+    the first key of the leaf group being processed when the I/O
+    failed, ``index`` its position in the caller's input vector.  The
+    underlying failure is chained as ``__cause__`` (and mirrored in
+    ``status``/``opcode``/``lba``).  Groups already applied before the
+    failure remain durable; the rest of the batch is untouched.
+    """
+
+    def __init__(self, message, status=None, opcode=None, lba=None,
+                 key=None, index=None):
+        super().__init__(message, status=status, opcode=opcode, lba=lba)
+        self.key = key
+        self.index = index
+
+
 class StorageError(ReproError):
     """The block storage layer rejected a request."""
 
@@ -95,6 +116,10 @@ class KeyEncodingError(TreeError):
 
 class LatchError(TreeError):
     """Latch protocol violation (double release, unknown holder, ...)."""
+
+
+class BulkLoadError(TreeError):
+    """Bulk-load input rejected: unsorted or duplicate keys."""
 
 
 class SchedulerError(ReproError):

@@ -25,7 +25,7 @@ buffering, WAL group commit) testable, not just timed.
 
 from functools import partial
 
-from repro.errors import DeviceError, PageBoundsError
+from repro.errors import DeviceError, PageBoundsError, QueueFullError
 from repro.faults import make_injector
 from repro.nvme.command import Completion, IoStatus
 from repro.nvme.latency import ServiceTimeModel
@@ -172,8 +172,8 @@ class NvmeDevice:
         self._qpairs.append(qpair)
         return qpair
 
-    def submit(self, qpair, command):
-        """Host pushed a command onto a submission queue."""
+    def _enqueue(self, qpair, command):
+        """Validate and ring-push one command without kicking service."""
         if command.lba >= self.profile.capacity_pages:
             raise PageBoundsError("lba %d beyond device capacity" % command.lba)
         if command.is_write:
@@ -194,6 +194,30 @@ class NvmeDevice:
         self.outstanding.add(1)
         if self.on_submit is not None:
             self.on_submit(command)
+
+    def submit(self, qpair, command):
+        """Host pushed a command onto a submission queue."""
+        self._enqueue(qpair, command)
+        self._try_start()
+
+    def submit_many(self, qpair, commands):
+        """Host pushed a command vector with a single doorbell ring.
+
+        All-or-nothing: raises :class:`~repro.errors.QueueFullError`
+        before enqueueing anything when the submission ring cannot take
+        the whole vector, so a failed vectored submit never leaves a
+        partial prefix behind.
+        """
+        if qpair.sq.free_slots < len(commands):
+            raise QueueFullError(
+                "submission ring %s cannot take %d commands (%d free)"
+                % (qpair.sq.name, len(commands), qpair.sq.free_slots)
+            )
+        for command in commands:
+            self._enqueue(qpair, command)
+        if commands:
+            qpair.vector_submissions += 1
+            qpair.vector_commands += len(commands)
         self._try_start()
 
     def probe(self, qpair, max_completions=0):

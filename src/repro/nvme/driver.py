@@ -88,6 +88,18 @@ class NvmeDriver:
         """CPU cost of one ``io_submit`` call on the calling thread."""
         return self.device.profile.submit_cpu_ns
 
+    def submit_many_cpu_ns(self, count):
+        """CPU cost of one ``io_submit_many`` call carrying ``count``.
+
+        The first command pays the full per-submit price; each further
+        command pays a quarter — queueing into the ring is shared work
+        and the doorbell is rung once for the whole vector.
+        """
+        if count <= 0:
+            return 0
+        base = self.device.profile.submit_cpu_ns
+        return base + (count - 1) * (base // 4)
+
     def probe_cpu_ns(self, completions):
         """CPU cost of one ``probe`` returning ``completions`` entries."""
         profile = self.device.profile
@@ -145,12 +157,36 @@ class NvmeDriver:
         self.device.submit(qpair, command)
         return command
 
+    def io_submit_many(self, qpair, entries, callback=None, context=None):
+        """Append a command vector with one doorbell ring.
+
+        ``entries`` is a sequence of ``(opcode, lba, data)`` triples.
+        All-or-nothing: :class:`repro.errors.QueueFullError` is raised
+        before anything is enqueued when the ring lacks the room.
+        Returns the list of command objects in entry order.
+        """
+        commands = [
+            NvmeCommand(opcode, lba, data=data, callback=callback, context=context)
+            for opcode, lba, data in entries
+        ]
+        self.device.submit_many(qpair, commands)
+        return commands
+
     def read(self, qpair, lba, callback=None, context=None):
         return self.io_submit(qpair, OP_READ, lba, callback=callback, context=context)
 
     def write(self, qpair, lba, data, callback=None, context=None):
         return self.io_submit(
             qpair, OP_WRITE, lba, data=data, callback=callback, context=context
+        )
+
+    def write_many(self, qpair, pages, callback=None, context=None):
+        """Vectored page writes: ``pages`` is (lba, data) pairs."""
+        return self.io_submit_many(
+            qpair,
+            [(OP_WRITE, lba, data) for lba, data in pages],
+            callback=callback,
+            context=context,
         )
 
     def probe(self, qpair, max_completions=0):

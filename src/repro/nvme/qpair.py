@@ -24,6 +24,8 @@ class QueuePair:
         "outstanding",
         "submitted",
         "completed",
+        "vector_submissions",
+        "vector_commands",
         "on_complete",
     )
 
@@ -34,6 +36,9 @@ class QueuePair:
         self.outstanding = 0
         self.submitted = 0
         self.completed = 0
+        # vectored (single-doorbell) submission accounting
+        self.vector_submissions = 0
+        self.vector_commands = 0
         self.on_complete = None
 
     def register_metrics(self, registry, labels=None):
@@ -52,6 +57,16 @@ class QueuePair:
             "qpair_completed_total", labels,
             fn=lambda: self.completed,
             help="completions posted to the completion ring",
+        )
+        registry.counter(
+            "qpair_vector_submissions_total", labels,
+            fn=lambda: self.vector_submissions,
+            help="vectored (single-doorbell) submit calls",
+        )
+        registry.counter(
+            "qpair_vector_commands_total", labels,
+            fn=lambda: self.vector_commands,
+            help="commands carried by vectored submit calls",
         )
         registry.gauge(
             "qpair_sq_occupancy_ratio", labels,

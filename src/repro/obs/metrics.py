@@ -41,6 +41,7 @@ METRIC_NAME_SUFFIXES = (
     "_total",
     "_ratio",
     "_count",
+    "_size",
 )
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")

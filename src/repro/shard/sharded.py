@@ -30,9 +30,9 @@ from collections import deque
 
 from repro.buffer import make_buffer
 from repro.core.engine import PERSISTENCE_STRONG, PaTreeEngine
-from repro.core.ops import RANGE, SYNC, range_op, sync_op
+from repro.core.ops import BATCH, RANGE, SYNC, batch_op, range_op, sync_op
 from repro.core.source import OperationSource
-from repro.core.tree import PaTree
+from repro.core.tree import PaTree, check_bulk_items
 from repro.errors import SchedulerError
 from repro.nvme.device import NvmeDevice, i3_nvme_profile
 from repro.nvme.driver import NvmeDriver
@@ -219,7 +219,7 @@ class ShardedPaTree:
         by the mix (each shard's slice of a sorted stream stays
         sorted, so per-shard bulk loads remain bottom-up builds).
         """
-        items = list(items)
+        items = check_bulk_items(items)
         if self.partitioning == RANGE_PARTITIONING:
             if items and self.n_shards > 1:
                 step = len(items) // self.n_shards
@@ -257,7 +257,34 @@ class ShardedPaTree:
         if op.kind == RANGE:
             self._dispatch_range(op)
             return
+        if op.kind == BATCH:
+            self._dispatch_batch(op)
+            return
         self._sources[self.shard_for(op.key)].pending.append(op)
+
+    def _dispatch_batch(self, op):
+        """Fan a batched operation out by shard key.
+
+        Each shard receives one sub-batch carrying the parent indices
+        of its specs (``spec_indices``), so the gather can merge the
+        per-shard result vectors back into input order.
+        """
+        groups = {}
+        for index, spec in enumerate(op.specs or ()):
+            groups.setdefault(self.shard_for(spec.key), []).append(index)
+        if len(groups) <= 1:
+            target = next(iter(groups)) if groups else 0
+            self._sources[target].pending.append(op)
+            return
+        parts = []
+        targets = []
+        for shard in sorted(groups):
+            indices = groups[shard]
+            part = batch_op([op.specs[i] for i in indices])
+            part.spec_indices = indices
+            parts.append(part)
+            targets.append(shard)
+        self._scatter(op, parts, targets)
 
     def _dispatch_range(self, op):
         if self.partitioning == HASH_PARTITIONING:
@@ -321,6 +348,23 @@ class ShardedPaTree:
                 if parent.limit:
                     merged = merged[: parent.limit]
                 parent.result = None if parent.error is not None else merged
+            elif parent.kind == BATCH:
+                # stitch per-shard result vectors back into input order
+                if parent.error is not None:
+                    parent.result = None
+                    for part in state.parts:
+                        if part.error is not None and part.spec_indices:
+                            cursor = part.cursor
+                            if not 0 <= cursor < len(part.spec_indices):
+                                cursor = 0
+                            parent.cursor = part.spec_indices[cursor]
+                            break
+                else:
+                    merged = [None] * len(parent.specs or ())
+                    for part in state.parts:
+                        for local, parent_index in enumerate(part.spec_indices):
+                            merged[parent_index] = part.result[local]
+                    parent.result = merged
             else:  # broadcast sync: total pages flushed
                 parent.result = sum(part.result or 0 for part in state.parts)
             if parent.on_complete is not None:

@@ -728,6 +728,94 @@ def test_pa405_suffixes_match_registry():
     assert runtime == linted
 
 
+def test_pa406_per_element_loop_over_scalar_helper(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def apply_group(leaf, changes):
+            for key, payload in changes:
+                leaf.leaf_insert(key, payload)
+        """,
+    )
+    assert codes(findings) == ["PA406"]
+    assert "leaf_apply_many" in findings[0].message
+
+
+def test_pa406_lookup_loop_and_innermost_only(tmp_path):
+    # nested fors report once, against the loop actually iterating
+    findings = run_snippet(
+        tmp_path,
+        """
+        def read_groups(leaf, groups):
+            out = []
+            for group in groups:
+                for key in group:
+                    out.append(leaf.leaf_lookup(key))
+            return out
+        """,
+    )
+    assert codes(findings) == ["PA406"]
+    assert "leaf_lookup_many" in findings[0].message
+
+
+def test_pa406_negative_vectorized_and_straight_line(tmp_path):
+    # vectorized calls, straight-line scalar calls and while-loop
+    # descents are all fine
+    findings = run_snippet(
+        tmp_path,
+        """
+        def ok(leaf, keys, changes):
+            values = leaf.leaf_lookup_many(keys)
+            leaf.leaf_apply_many(changes)
+            single = leaf.leaf_lookup(keys[0])
+            while keys:
+                single = leaf.leaf_delete(keys.pop())
+            return values, single
+        """,
+    )
+    assert findings == []
+
+
+def test_pa406_loop_iter_evaluated_once_is_clean(tmp_path):
+    # the iterable expression runs once, not per element
+    findings = run_snippet(
+        tmp_path,
+        """
+        def ok(leaf, keys):
+            for value in leaf.leaf_lookup_many(keys):
+                yield value
+        """,
+    )
+    assert findings == []
+
+
+def test_pa406_only_in_src_scope(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def oracle(leaf, keys):
+            out = []
+            for key in keys:
+                out.append(leaf.leaf_lookup(key))
+            return out
+        """,
+        scope="tests",
+    )
+    assert findings == []
+
+
+def test_pa406_suppressible(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def apply_group(leaf, changes):
+            for key, payload in changes:
+                leaf.leaf_insert(key, payload)  # patlint: ignore[PA406]
+        """,
+    )
+    assert findings == []
+
+
 # ---------------------------------------------------------------------------
 # framework: suppressions, parse failures, baseline, reporters
 # ---------------------------------------------------------------------------
@@ -967,6 +1055,7 @@ def test_list_rules_catalog(capsys):
         "PA402",
         "PA404",
         "PA405",
+        "PA406",
         "PA901",
         "PA902",
     ):

@@ -21,6 +21,7 @@ from .fault_paths import (
     StatusStringCompareRule,
 )
 from .api_contracts import StatsByReferenceRule, UnusedImportRule
+from .batching import PerElementBatchLoopRule
 from .observability import ConsoleOutputRule, MetricNameRule
 
 RULE_CLASSES = (
@@ -39,6 +40,7 @@ RULE_CLASSES = (
     UnusedImportRule,
     ConsoleOutputRule,
     MetricNameRule,
+    PerElementBatchLoopRule,
 )
 
 #: Codes minted by the framework rather than by a rule class.

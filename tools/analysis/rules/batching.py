@@ -1,0 +1,75 @@
+"""Batch-pipeline rules: keep vectorized hot paths vectorized.
+
+The batch planner exists so a whole leaf group goes through one
+vectorized node call — one binary-search sweep, one latch hold, one
+serialize — instead of a Python-level loop over per-key helpers.  A
+``for`` loop that calls a scalar helper per element quietly gives that
+amortization back, so PA406 flags the pattern statically wherever a
+vectorized counterpart exists.
+"""
+
+import ast
+
+from ..framework import Rule
+
+#: Scalar per-key node helpers -> their vectorized counterpart.
+_SCALAR_HELPERS = {
+    "leaf_insert": "leaf_apply_many",
+    "leaf_delete": "leaf_apply_many",
+    "leaf_lookup": "leaf_lookup_many",
+}
+
+
+class PerElementBatchLoopRule(Rule):
+    """PA406: per-element ``for`` loop over a scalar node helper.
+
+    Fires on calls like ``leaf.leaf_insert(...)`` inside the body of a
+    ``for`` loop in ``src/`` when a vectorized counterpart
+    (``leaf_apply_many`` / ``leaf_lookup_many``) exists.  Single-op
+    plans call the scalar helpers straight-line (no loop) and stay
+    clean; ``while``-loop descents are coupled traversals, not
+    per-element iteration, and are not matched.
+    """
+
+    code = "PA406"
+    name = "per-element-batch-loop"
+    summary = "for loop calls a scalar node helper that has a vectorized counterpart"
+    scopes = ("src",)
+    node_types = (ast.For,)
+
+    def visit(self, node, ctx):
+        for stmt in node.body + node.orelse:
+            for inner in ast.walk(stmt):
+                if not isinstance(inner, ast.Call):
+                    continue
+                func = inner.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                counterpart = _SCALAR_HELPERS.get(func.attr)
+                if counterpart is None:
+                    continue
+                if self._enclosing_loop(inner, ctx) is not node:
+                    # report against the innermost enclosing loop only,
+                    # so nested fors do not double-count one call
+                    continue
+                yield ctx.finding(
+                    inner,
+                    self.code,
+                    "per-element %s() call in a for loop; apply the whole "
+                    "group with %s()" % (func.attr, counterpart),
+                )
+
+    @staticmethod
+    def _enclosing_loop(node, ctx):
+        """Nearest enclosing ``for`` loop within the same function."""
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, ast.For):
+                return current
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                return None
+            current = ctx.parent(current)
+        return None

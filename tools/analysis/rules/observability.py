@@ -32,6 +32,7 @@ METRIC_NAME_SUFFIXES = (
     "_total",
     "_ratio",
     "_count",
+    "_size",
 )
 
 #: Registration method names on a metric registry.
