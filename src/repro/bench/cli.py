@@ -30,6 +30,7 @@ from repro.bench.experiments import (
     fig13_yielding,
     fig14_buffering,
     fig15_end_to_end,
+    fuzz_explore,
     shards_scaling,
     table1_table2_fig9,
 )
@@ -94,6 +95,14 @@ _EXHIBITS = {
             faults_injection.run_experiment(
                 n_ops=args.ops or 1_500, seed=args.seed
             ),
+            out=out,
+            json_dir=args.out or "benchmarks/results",
+        ),
+    ),
+    "fuzz": (
+        "Fuzz: schedule exploration with differential parity checks",
+        lambda args, out: fuzz_explore.report(
+            fuzz_explore.run_experiment(n_ops=args.ops or 150),
             out=out,
             json_dir=args.out or "benchmarks/results",
         ),

@@ -5,7 +5,8 @@ can catch a single base class at the API boundary.  The tree::
 
     ReproError
     ├── SimulationError          (simulation kernel misuse)
-    │   └── DeadlockError
+    │   ├── DeadlockError
+    │   └── LivelockError        (no-progress watchdog tripped)
     ├── DeviceError              (NVMe device model / completion path)
     │   ├── QueueFullError       (submission ring has no free slot)
     │   └── IoError              (a command completed with a failure status)
@@ -41,6 +42,16 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """The event queue drained while threads or operations still wait."""
+
+
+class LivelockError(SimulationError):
+    """A no-progress watchdog saw events dispatching but no completions.
+
+    Raised by the schedule-fuzz harness (``repro.fuzz``) when the
+    simulation keeps dispatching events without any operation or I/O
+    completing for longer than the configured budget — the polled-mode
+    failure shape a deadlock check cannot see.
+    """
 
 
 class DeviceError(ReproError):

@@ -1,0 +1,7 @@
+"""``python -m repro.fuzz`` entry point."""
+
+import sys
+
+from repro.fuzz.cli import main
+
+sys.exit(main())

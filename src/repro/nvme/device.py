@@ -162,6 +162,12 @@ class NvmeDevice:
         # completion-visible time; must not mutate device or queue state
         self.on_submit = None
         self.on_complete = None
+        # Schedule-exploration hook (repro.fuzz): called with
+        # (command, service_ns) after fault scaling and returns the
+        # service time to use, jittering per-command latency so
+        # completion order is explored.  Must stay None outside fuzz
+        # runs so ordinary runs are bit-identical.
+        self.perturb_service = None
 
     # ------------------------------------------------------------------
     # host-facing operations (called via the driver)
@@ -386,6 +392,8 @@ class NvmeDevice:
                 service = int(
                     service * self.fault_injector.service_factor(command.is_write)
                 )
+            if self.perturb_service is not None:
+                service = int(self.perturb_service(command, service))
             finish = fetch_end + service
             self.engine.schedule_at(
                 finish, partial(self._service_done, command)

@@ -36,6 +36,16 @@ class Engine:
         # Observability hook: called with each event just before its
         # callback runs.  Must not schedule, cancel, or advance time.
         self.on_dispatch = None
+        # Schedule-exploration hook (repro.fuzz): called with every
+        # scheduled delay and returns the (possibly perturbed) delay to
+        # use.  Must stay None outside fuzz runs so ordinary runs are
+        # bit-identical; the fuzzer's perturbations stay >= 0.
+        self.perturb_delay = None
+        # Idle hook: called once when the event queue drains while a
+        # run() is still looking for work.  SimOS installs its stall
+        # guard here so a drained queue with blocked threads raises a
+        # typed error instead of silently ending the run.
+        self.on_idle = None
 
     @property
     def now(self):
@@ -43,6 +53,8 @@ class Engine:
 
     def schedule(self, delay_ns, fn):
         """Run ``fn()`` after ``delay_ns`` nanoseconds of virtual time."""
+        if self.perturb_delay is not None:
+            delay_ns = self.perturb_delay(int(delay_ns))
         if delay_ns < 0:
             raise SimulationError("negative delay: %r" % delay_ns)
         return self.events.push(self.clock.now + int(delay_ns), fn)
@@ -74,6 +86,11 @@ class Engine:
                 if until is not None and until():
                     return
                 next_time = self.events.peek_time()
+                if next_time is None and self.on_idle is not None:
+                    # the idle hook may raise (stall guard) or schedule
+                    # wrap-up work; re-check the queue afterwards
+                    self.on_idle()
+                    next_time = self.events.peek_time()
                 if next_time is None:
                     if until_ns is not None and until_ns > self.clock.now:
                         self.clock.advance_to(until_ns)

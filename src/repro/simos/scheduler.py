@@ -12,7 +12,7 @@ accounted quantity (Table I / Table II / Fig 9).
 from collections import deque
 from functools import partial
 
-from repro.errors import SimulationError
+from repro.errors import SchedulerError, SimulationError
 from repro.sim.clock import msec, usec
 from repro.sim.metrics import CPU_OTHER, CPU_SYNC, Counter, CpuAccount
 from repro.simos.thread import (
@@ -93,6 +93,24 @@ class SimOS:
         # Observability hook: called with (thread, new_state) on every
         # scheduling transition.  Must not touch run queues or cores.
         self.on_thread_state = None
+        # Schedule-exploration hooks (repro.fuzz).  All three must stay
+        # None outside fuzz runs so ordinary runs are bit-identical:
+        # * pick_runnable(run_queue) -> index: which queued thread the
+        #   next free core dispatches (default: FIFO head).  Only
+        #   consulted when the queue holds a real choice (>= 2).
+        # * preempt_policy(thread, quantum_used_ns, quantum_ns) -> bool:
+        #   whether a thread is preempted after a CPU burst while others
+        #   wait (default: quantum_used_ns >= quantum_ns).
+        # * wakeup_pick(waiters) -> index: which blocked thread a
+        #   sem_post wakes (default: FIFO head).  Only consulted when
+        #   more than one thread waits.
+        self.pick_runnable = None
+        self.preempt_policy = None
+        self.wakeup_pick = None
+        # Stall guard: if the event queue drains while threads are
+        # still blocked on semaphores, the run is deadlocked — raise a
+        # typed error naming them instead of silently ending the run.
+        engine.on_idle = self._check_stalled
 
     # ------------------------------------------------------------------
     # public API
@@ -139,6 +157,42 @@ class SimOS:
     # scheduling internals
     # ------------------------------------------------------------------
 
+    def _check_stalled(self):
+        """Engine idle hook: a drained queue with blocked threads is a
+        deadlock, not a finished run."""
+        live = self.live_threads()
+        if not live:
+            return
+        blocked = [t for t in live if t.state == T_BLOCKED]
+        if blocked and len(blocked) == len(live):
+            raise SchedulerError(
+                "scheduler stalled: event queue drained with %d live "
+                "thread(s) all blocked on semaphores: %s"
+                % (
+                    len(blocked),
+                    ", ".join(
+                        "%s (tid %d)" % (t.name, t.tid) for t in blocked
+                    ),
+                )
+            )
+
+    def _pop_runnable(self):
+        """Dequeue the next thread to dispatch (FIFO unless fuzzing)."""
+        queue = self.run_queue
+        if self.pick_runnable is None or len(queue) == 1:
+            return queue.popleft()
+        index = self.pick_runnable(queue)
+        if not 0 <= index < len(queue):
+            raise SchedulerError(
+                "pick_runnable index %d out of range for %d runnable(s)"
+                % (index, len(queue))
+            )
+        if index == 0:
+            return queue.popleft()
+        thread = queue[index]
+        del queue[index]
+        return thread
+
     def _make_runnable(self, thread):
         thread.state = T_RUNNABLE
         if self.on_thread_state is not None:
@@ -156,7 +210,7 @@ class SimOS:
         core.last_tid = thread.tid
         core.current = None
         if self.run_queue:
-            self._dispatch_to(core, self.run_queue.popleft())
+            self._dispatch_to(core, self._pop_runnable())
         else:
             self._idle.append(core)
 
@@ -253,7 +307,20 @@ class SimOS:
 
     def _after_cpu(self, thread):
         quantum_used = self.engine.now - thread.quantum_start_ns
-        if self.run_queue and quantum_used >= self.profile.quantum_ns:
+        if self.run_queue:
+            # preemption only matters when someone is waiting; the hook
+            # is consulted (and a fuzz decision recorded) only then
+            if self.preempt_policy is None:
+                preempt = quantum_used >= self.profile.quantum_ns
+            else:
+                preempt = bool(
+                    self.preempt_policy(
+                        thread, quantum_used, self.profile.quantum_ns
+                    )
+                )
+        else:
+            preempt = False
+        if preempt:
             self.preemptions.add()
             self.run_queue.append(thread)
             thread.state = T_RUNNABLE
@@ -277,7 +344,10 @@ class SimOS:
 
     def _sem_post_cont(self, thread, sem):
         if sem.waiters:
-            waiter = sem.waiters.popleft()
+            if self.wakeup_pick is None or len(sem.waiters) == 1:
+                waiter = sem.pop_waiter(0)
+            else:
+                waiter = sem.pop_waiter(self.wakeup_pick(sem.waiters))
             self.engine.schedule(
                 self.profile.wakeup_ns, partial(self._make_runnable, waiter)
             )

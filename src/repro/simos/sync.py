@@ -8,6 +8,8 @@ re-enters the run queue.  A mutex is a semaphore initialised to one.
 
 from collections import deque
 
+from repro.errors import SchedulerError
+
 
 class Semaphore:
     """Counting semaphore.
@@ -15,6 +17,13 @@ class Semaphore:
     The scheduler drives all state changes; thread code only yields
     :class:`~repro.simos.thread.SemWait` / ``SemPost`` instructions that
     reference the semaphore.
+
+    ``waiters`` is an explicit FIFO: blocked threads are appended at the
+    tail and, by default, woken from the head in arrival order.  That
+    order is a documented contract (asserted by
+    :meth:`pop_waiter` and regression-tested), not an accident of the
+    underlying deque — schedule-exploration runs reorder wakeups only
+    through the scheduler's explicit ``wakeup_pick`` hook.
     """
 
     __slots__ = ("count", "waiters", "name", "wait_count", "block_count")
@@ -34,6 +43,26 @@ class Semaphore:
             self.count -= 1
             return True
         return False
+
+    def pop_waiter(self, index=0):
+        """Remove and return the waiter at ``index`` (default: FIFO head).
+
+        The scheduler's only way to dequeue a blocked thread.  Index 0
+        is the arrival-order (FIFO) wakeup every normal run uses; a
+        nonzero index is only ever chosen by the schedule-exploration
+        ``wakeup_pick`` hook.  An out-of-range index is a scheduler bug
+        and raises :class:`~repro.errors.SchedulerError`.
+        """
+        if not 0 <= index < len(self.waiters):
+            raise SchedulerError(
+                "wakeup index %d out of range for %d waiter(s) on %r"
+                % (index, len(self.waiters), self.name)
+            )
+        if index == 0:
+            return self.waiters.popleft()
+        waiter = self.waiters[index]
+        del self.waiters[index]
+        return waiter
 
     def __repr__(self):
         return "Semaphore(%r, count=%d, waiters=%d)" % (

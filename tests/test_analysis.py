@@ -23,9 +23,10 @@ from tools.analysis.cli import main as patlint_main
 
 
 def run_snippet(tmp_path, code, scope="src", filename="mod.py"):
-    root = tmp_path / scope
-    root.mkdir(exist_ok=True)
-    target = root / filename
+    # ``filename`` may carry subdirectories (path-scoped rules such as
+    # PA407 key on segments like repro/fuzz/)
+    target = tmp_path / scope / filename
+    target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(textwrap.dedent(code))
     return analyze([str(target)]).findings
 
@@ -817,6 +818,127 @@ def test_pa406_suppressible(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# PA407 schedule-fuzzing hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_pa407_private_random_in_fuzz_package(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import random
+
+
+        def make_explorer(seed):
+            return random.Random(seed)
+        """,
+        filename="repro/fuzz/hooks.py",
+    )
+    assert codes(findings) == ["PA407"]
+
+
+def test_pa407_private_random_at_hook_site(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import random
+
+
+        class SimOS:
+            def __init__(self):
+                self.jitter = random.Random(7)
+        """,
+        filename="repro/simos/scheduler.py",
+    )
+    assert codes(findings) == ["PA407"]
+
+
+def test_pa407_registry_stream_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        def make_explorer(registry):
+            return registry.stream("fuzz:schedule")
+        """,
+        filename="repro/fuzz/hooks.py",
+    )
+    assert findings == []
+
+
+def test_pa407_random_elsewhere_in_src_not_flagged(tmp_path):
+    # random.Random construction outside fuzz/hook-site files is the
+    # RngRegistry's own business (PA102 already polices ambient use)
+    findings = run_snippet(
+        tmp_path,
+        """
+        import random
+
+
+        def stream(seed):
+            return random.Random(seed)
+        """,
+        filename="repro/sim/rng.py",
+    )
+    assert findings == []
+
+
+def test_pa407_hook_non_null_default(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        class SimOS:
+            def __init__(self):
+                self.pick_runnable = lambda queue: 0
+        """,
+        filename="repro/simos/scheduler.py",
+    )
+    assert codes(findings) == ["PA407"]
+
+
+def test_pa407_hook_null_default_is_clean(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        class Engine:
+            def __init__(self):
+                self.perturb_delay = None
+                self.on_idle = None
+        """,
+        filename="repro/sim/engine.py",
+    )
+    assert findings == []
+
+
+def test_pa407_fuzz_binder_assignment_is_exempt(tmp_path):
+    # the fuzz package binds hooks at runtime; the null-default rule
+    # polices only the modules that define the hook sites
+    findings = run_snippet(
+        tmp_path,
+        """
+        def bind(simos, decider):
+            simos.pick_runnable = lambda queue: decider.pick(len(queue))
+        """,
+        filename="repro/fuzz/hooks.py",
+    )
+    assert findings == []
+
+
+def test_pa407_suppressible(tmp_path):
+    findings = run_snippet(
+        tmp_path,
+        """
+        import random
+
+
+        def draw():
+            return random.Random(0)  # patlint: ignore[PA407]
+        """,
+        filename="repro/fuzz/harness.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # framework: suppressions, parse failures, baseline, reporters
 # ---------------------------------------------------------------------------
 
@@ -1056,6 +1178,7 @@ def test_list_rules_catalog(capsys):
         "PA404",
         "PA405",
         "PA406",
+        "PA407",
         "PA901",
         "PA902",
     ):

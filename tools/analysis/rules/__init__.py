@@ -22,6 +22,7 @@ from .fault_paths import (
 )
 from .api_contracts import StatsByReferenceRule, UnusedImportRule
 from .batching import PerElementBatchLoopRule
+from .fuzzing import FuzzRngDisciplineRule, HookNullDefaultRule
 from .observability import ConsoleOutputRule, MetricNameRule
 
 RULE_CLASSES = (
@@ -41,6 +42,8 @@ RULE_CLASSES = (
     ConsoleOutputRule,
     MetricNameRule,
     PerElementBatchLoopRule,
+    FuzzRngDisciplineRule,
+    HookNullDefaultRule,
 )
 
 #: Codes minted by the framework rather than by a rule class.

@@ -1,0 +1,124 @@
+"""PA407: schedule-fuzzing hygiene.
+
+The fuzz-off determinism guarantee rests on two conventions:
+
+* every random draw in the schedule fuzzer and at its hook sites flows
+  through a named, seeded ``RngRegistry`` stream — never through a
+  privately constructed ``random.Random(...)`` (whose seed would be
+  invisible to the reproducer) and never through the ambient global
+  stream;
+* the exploration hooks on the scheduler, engine and device
+  (``pick_runnable`` / ``preempt_policy`` / ``wakeup_pick`` /
+  ``perturb_delay`` / ``perturb_service``) are *null-default*: the
+  modules that define them may only ever assign ``None``.  Binding a
+  real callable is the fuzz harness's job, at runtime, for the
+  duration of one run — a default wired at the definition site would
+  silently perturb every ordinary run.
+"""
+
+import ast
+
+from ..framework import Rule
+
+#: Files that define the exploration hook sites, matched by path
+#: suffix.  ``repro/fuzz/`` is matched as a path segment.
+_HOOK_SITE_SUFFIXES = (
+    "repro/simos/scheduler.py",
+    "repro/sim/engine.py",
+    "repro/nvme/device.py",
+)
+
+#: The null-default exploration hook attributes.  ``on_idle`` /
+#: ``on_dispatch`` / ``on_complete`` are observability hooks with
+#: legitimate in-tree bindings (the SimOS stall guard, metrics) and
+#: are deliberately not listed.
+_EXPLORATION_HOOKS = frozenset(
+    {
+        "pick_runnable",
+        "preempt_policy",
+        "wakeup_pick",
+        "perturb_delay",
+        "perturb_service",
+    }
+)
+
+
+def _in_fuzz_package(path):
+    return "/repro/fuzz/" in path or path.endswith("/repro/fuzz.py")
+
+
+def _is_hook_site(path):
+    return any(path.endswith(suffix) for suffix in _HOOK_SITE_SUFFIXES)
+
+
+class FuzzRngDisciplineRule(Rule):
+    """Private ``random.Random`` construction in fuzz/hook-site code.
+
+    Ambient ``random.*`` calls are already PA102 everywhere in
+    ``src``; in the fuzzer and at the hook sites even a *seeded*
+    private ``random.Random(...)`` is wrong — a draw outside the
+    experiment's ``RngRegistry`` makes (seed, trace) reproducers lie.
+    The one exemption is ``sim/rng.py`` itself, where the registry
+    mints its streams.
+    """
+
+    code = "PA407"
+    name = "fuzz-rng-discipline"
+    summary = "schedule-fuzz randomness outside the seeded RngRegistry"
+    scopes = ("src",)
+    node_types = (ast.Call,)
+
+    def visit(self, node, ctx):
+        if not (_in_fuzz_package(ctx.path) or _is_hook_site(ctx.path)):
+            return
+        dotted = ctx.resolve(node.func)
+        if dotted == "random.Random":
+            yield ctx.finding(
+                node,
+                self.code,
+                "random.Random(...) constructed in schedule-fuzz code; "
+                "draw from a named RngRegistry stream so the (seed, "
+                "trace) reproducer captures every decision",
+            )
+
+
+class HookNullDefaultRule(Rule):
+    """Non-None assignment to an exploration hook at its definition site.
+
+    Inside the three modules that *define* the hooks, any
+    ``<obj>.pick_runnable = <expr>`` (or the other four) with a
+    non-``None`` right-hand side wires a perturbation into ordinary
+    runs and breaks the fuzz-off byte-identity guarantee.  The fuzz
+    package itself binds hooks at runtime and is exempt.
+    """
+
+    code = "PA407"
+    name = "hook-null-default"
+    summary = "exploration hook assigned a non-None default at its site"
+    scopes = ("src",)
+    node_types = (ast.Assign, ast.AnnAssign, ast.AugAssign)
+
+    def visit(self, node, ctx):
+        if not _is_hook_site(ctx.path):
+            return
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            targets, value = [node.target], node.value
+        if value is None:
+            return
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _EXPLORATION_HOOKS
+                and not (
+                    isinstance(value, ast.Constant) and value.value is None
+                )
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "exploration hook %s assigned a non-None value at its "
+                    "definition site; hooks must default to None (only "
+                    "repro.fuzz binds them, per run)" % target.attr,
+                )
