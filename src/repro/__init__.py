@@ -65,7 +65,7 @@ from repro.nvme.command import IoStatus
 from repro.nvme.driver import RetryPolicy
 from repro.shard import ShardedPaTree
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "PATreeSession",

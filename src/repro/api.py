@@ -47,6 +47,7 @@ benchmark harness in ``repro.bench`` shows how.
 import warnings
 from dataclasses import dataclass, replace
 
+from repro.backend import make_backend
 from repro.buffer import make_buffer
 from repro.core.engine import (
     PERSISTENCE_STRONG,
@@ -64,8 +65,8 @@ from repro.core.ops import (
 from repro.core.source import ClosedLoopSource
 from repro.core.tree import PaTree, check_bulk_items
 from repro.errors import BatchError, ReproError
-from repro.nvme.device import NvmeDevice, i3_nvme_profile
-from repro.nvme.driver import NvmeDriver, RetryPolicy
+from repro.nvme.device import i3_nvme_profile
+from repro.nvme.driver import RetryPolicy
 from repro.sched import make_scheduler
 from repro.sim.engine import Engine
 from repro.simos.scheduler import SimOS, paper_testbed_profile
@@ -112,6 +113,15 @@ class SessionConfig:
         equivalent dict of its fields) applied to transient media
         errors; None (the default) delivers every failure to the
         engine immediately.
+    backend:
+        I/O substrate spec (see :mod:`repro.backend`): ``None`` (the
+        process default — the simulated NVMe device unless
+        ``repro.bench --backend`` overrode it), ``"sim"``, ``"file"``
+        / ``"file:<path>"``, ``"replay:<trace>"``, a dict with a
+        ``"kind"`` key, or a built
+        :class:`~repro.backend.IoBackend`.  Unknown names raise
+        :class:`~repro.errors.BackendConfigError`.  Sharded sessions
+        require every shard on the same backend kind.
     """
 
     seed: int = 0
@@ -127,6 +137,7 @@ class SessionConfig:
     partitioning: str = "hash"
     faults: object = None
     retry: object = None
+    backend: object = None
 
     def merged(self, **overrides):
         """A copy with ``overrides`` applied (unknown names raise)."""
@@ -145,17 +156,32 @@ def make_retry(retry):
 
 
 class SimEnvironment:
-    """One simulated machine: event engine, OS, NVMe device, driver."""
+    """One simulated machine: event engine, OS, and one I/O backend.
+
+    The backend (``repro.backend``) carries the device model and the
+    driver bound to it; ``self.device`` / ``self.driver`` stay exposed
+    for observability attachment and tests.
+    """
 
     def __init__(
         self, seed=0, device_profile=None, os_profile=None, faults=None,
-        retry=None,
+        retry=None, backend=None,
     ):
         self.engine = Engine(seed=seed)
         self.os = SimOS(self.engine, os_profile or paper_testbed_profile())
         self.device_profile = device_profile or i3_nvme_profile()
-        self.device = NvmeDevice(self.engine, self.device_profile, faults=faults)
-        self.driver = NvmeDriver(self.device, retry=make_retry(retry))
+        self.backend = make_backend(
+            backend,
+            engine=self.engine,
+            profile=device_profile,
+            faults=faults,
+            retry=make_retry(retry),
+        )
+        self.device = self.backend.device
+        self.driver = self.backend.driver
+
+    def close(self):
+        self.backend.close()
 
     @property
     def now_usec(self):
@@ -215,6 +241,10 @@ class BaseSession:
         if self.config.persistence == PERSISTENCE_WEAK:
             self.sync()
         self.closed = True
+        self._teardown()
+
+    def _teardown(self):
+        """Release backend resources; sessions with an env close it."""
 
     def __enter__(self):
         return self
@@ -471,13 +501,14 @@ class PATreeSession(BaseSession):
             config.os_profile,
             faults=config.faults,
             retry=config.retry,
+            backend=config.backend,
         )
         self.tree = PaTree.create(
             self.env.device, payload_size=config.payload_size
         )
         self.pa_engine = PaTreeEngine(
             self.env.os,
-            self.env.driver,
+            self.env.backend,
             self.tree,
             make_scheduler(config.scheduler, self.env.device_profile),
             source=ClosedLoopSource([], window=config.window),
@@ -537,6 +568,9 @@ class PATreeSession(BaseSession):
         """Verify every on-media structural invariant of the tree."""
         return self.tree.validate()
 
+    def _teardown(self):
+        self.env.close()
+
 
 class AsyncLsmSession(BaseSession):
     """Blocking convenience wrapper around the PA-LSM extension.
@@ -559,6 +593,7 @@ class AsyncLsmSession(BaseSession):
             config.os_profile,
             faults=config.faults,
             retry=config.retry,
+            backend=config.backend,
         )
         self.store = AsyncLsmStore(
             self.env.device,
@@ -567,7 +602,7 @@ class AsyncLsmSession(BaseSession):
         )
         self.worker = PolledLsmWorker(
             self.env.os,
-            self.env.driver,
+            self.env.backend,
             self.store,
             make_scheduler(config.scheduler, self.env.device_profile),
             ClosedLoopSource([], window=config.window),
@@ -624,6 +659,9 @@ class AsyncLsmSession(BaseSession):
         session.attach_worker(self.worker)
         return session
 
+    def _teardown(self):
+        self.env.close()
+
 
 class ShardedSession(BaseSession):
     """Blocking facade over a sharded multi-device PA-Tree fleet.
@@ -657,7 +695,11 @@ class ShardedSession(BaseSession):
             device_profile=device_profile,
             faults=config.faults,
             retry=make_retry(config.retry),
+            backend=config.backend,
         )
+
+    def _teardown(self):
+        self.sharded.close()
 
     @property
     def now_usec(self):

@@ -1,0 +1,324 @@
+"""Shared device model for the non-simulated backends.
+
+:class:`PageDeviceBase` implements the device half of the backend
+contract — queue pairs with ring-capacity limits, round-robin command
+fetch into a bounded set of service channels, :class:`IoStatus`-typed
+completion minting, completion/error/outstanding accounting, metric
+registration, and the fault-injector / fuzz ``perturb_service`` hook
+points — with the *service-time source* left abstract.  The simulated
+:class:`~repro.nvme.device.NvmeDevice` draws service times from a
+calibrated stochastic model; the subclasses here take them from a real
+syscall's wall clock (:class:`~repro.backend.file.FilePageDevice`) or
+a recorded trace (:class:`~repro.backend.replay.ReplayPageDevice`).
+
+The model intentionally omits the simulated device's serial-interface
+contention (the Fig 3c probe-pressure mechanism): that is a property
+of the modelled hardware, not of a scratch file, and keeping the
+non-sim backends free of it makes the calibration residuals honest —
+what the simulator adds on top is exactly what calibration measures.
+
+Semantics shared with the simulated device (the conformance suite in
+``tests/test_backend_conformance.py`` pins these across all three
+backends):
+
+* ``submit`` validates bounds/payload and rejects on a full ring with
+  :class:`~repro.errors.QueueFullError`;
+* ``submit_many`` is all-or-nothing and counts vectored submissions;
+* commands complete in service order onto the completion ring and are
+  only visible through ``probe``;
+* a failed write leaves the media untouched, a failed read carries no
+  data, and the injector's poison/cure rules apply unchanged.
+"""
+
+from functools import partial
+
+from repro.errors import DeviceError, PageBoundsError, QueueFullError
+from repro.faults import make_injector
+from repro.nvme.command import Completion, IoStatus
+from repro.nvme.qpair import QueuePair
+from repro.sim.metrics import Counter, TimeWeightedGauge
+
+
+class PageDeviceBase:
+    """Event-driven page device with a pluggable service-time source."""
+
+    def __init__(self, engine, profile, rng_name="backend", faults=None):
+        self.engine = engine
+        self.profile = profile
+        # same injector discipline as the simulated device: a dedicated
+        # named stream, so arming faults never perturbs anything else
+        self.fault_injector = make_injector(
+            faults, engine.rng.stream("faults:" + rng_name)
+        )
+        self._pages = {}
+        self._qpairs = []
+        self._rr_index = 0
+        self._free_channels = profile.channels
+        # statistics (same names and semantics as NvmeDevice)
+        self.reads_completed = Counter()
+        self.writes_completed = Counter()
+        self.errors_completed = Counter()
+        self.read_latency_sum_ns = 0
+        self.write_latency_sum_ns = 0
+        self.outstanding = TimeWeightedGauge(engine.clock)
+        self.probe_calls = Counter()
+        # hook points (null defaults: ordinary runs pay one attr check)
+        self.on_submit = None
+        self.on_complete = None
+        self.perturb_service = None
+
+    # ------------------------------------------------------------------
+    # host-facing operations (called via the driver)
+    # ------------------------------------------------------------------
+
+    def alloc_qpair(self, sq_size=1024, cq_size=1024):
+        qpair = QueuePair(len(self._qpairs), sq_size, cq_size)
+        self._qpairs.append(qpair)
+        return qpair
+
+    def _enqueue(self, qpair, command):
+        if command.lba >= self.profile.capacity_pages:
+            raise PageBoundsError("lba %d beyond device capacity" % command.lba)
+        if command.is_write:
+            data = command.data
+            if data is None:
+                raise DeviceError("write command without data")
+            if len(data) != self.profile.page_size:
+                raise DeviceError(
+                    "write payload %d bytes != page size %d"
+                    % (len(data), self.profile.page_size)
+                )
+        command.qpair = qpair
+        command.submit_ns = self.engine.now
+        command.status = IoStatus.SUBMITTED
+        qpair.sq.push(command)
+        qpair.outstanding += 1
+        qpair.submitted += 1
+        self.outstanding.add(1)
+        if self.on_submit is not None:
+            self.on_submit(command)
+
+    def submit(self, qpair, command):
+        self._enqueue(qpair, command)
+        self._try_start()
+
+    def submit_many(self, qpair, commands):
+        """All-or-nothing vectored submit (single doorbell ring)."""
+        if qpair.sq.free_slots < len(commands):
+            raise QueueFullError(
+                "submission ring %s cannot take %d commands (%d free)"
+                % (qpair.sq.name, len(commands), qpair.sq.free_slots)
+            )
+        for command in commands:
+            self._enqueue(qpair, command)
+        if commands:
+            qpair.vector_submissions += 1
+            qpair.vector_commands += len(commands)
+        self._try_start()
+
+    def probe(self, qpair, max_completions=0):
+        """Pop visible completions; no interface-contention charge."""
+        self.probe_calls.add()
+        completed = []
+        while max_completions <= 0 or len(completed) < max_completions:
+            command = qpair.cq.pop()
+            if command is None:
+                break
+            completed.append(command)
+        return completed
+
+    # ------------------------------------------------------------------
+    # direct media access (bulk loading / recovery inspection only)
+    # ------------------------------------------------------------------
+
+    def raw_write(self, lba, data):
+        if len(data) != self.profile.page_size:
+            raise DeviceError("raw write payload size mismatch")
+        if lba >= self.profile.capacity_pages:
+            raise PageBoundsError("lba %d beyond device capacity" % lba)
+        self._media_write(lba, bytes(data))
+
+    def raw_read(self, lba):
+        if lba >= self.profile.capacity_pages:
+            raise PageBoundsError("lba %d beyond device capacity" % lba)
+        return self._media_read(lba)
+
+    # ------------------------------------------------------------------
+    # media store (in-memory by default; FilePageDevice overrides)
+    # ------------------------------------------------------------------
+
+    def _media_write(self, lba, data):
+        self._pages[lba] = data
+
+    def _media_read(self, lba):
+        page = self._pages.get(lba)
+        if page is None:
+            return bytes(self.profile.page_size)
+        return page
+
+    # ------------------------------------------------------------------
+    # service pipeline
+    # ------------------------------------------------------------------
+
+    def _next_nonempty_qpair(self):
+        n = len(self._qpairs)
+        for offset in range(n):
+            qpair = self._qpairs[(self._rr_index + offset) % n]
+            if not qpair.sq.is_empty:
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return qpair
+        return None
+
+    def _try_start(self):
+        """Fetch commands into free channels, round-robin across queues."""
+        while self._free_channels > 0:
+            qpair = self._next_nonempty_qpair()
+            if qpair is None:
+                return
+            command = qpair.sq.pop()
+            self._free_channels -= 1
+            command.fetch_ns = self.engine.now
+            service, status, read_data = self._begin_service(command)
+            if self.fault_injector is not None:
+                service = int(
+                    service * self.fault_injector.service_factor(command.is_write)
+                )
+            if self.perturb_service is not None:
+                service = int(self.perturb_service(command, service))
+            self.engine.schedule_at(
+                self.engine.now + max(int(service), 1),
+                partial(self._service_done, command, status, read_data),
+            )
+
+    def _begin_service(self, command):
+        """Start servicing one fetched command.
+
+        Returns ``(service_ns, status, read_data)``.  The default
+        decides the completion status up front (the injector's
+        poison/cure and error-rate rules), snapshots read data from
+        the media store, and asks :meth:`_service_ns` for the timing.
+        A failed read carries no data; a write's payload is committed
+        at completion time by :meth:`_commit_write`, so a failed write
+        leaves the media untouched.
+        """
+        if self.fault_injector is None:
+            status = IoStatus.SUCCESS
+        else:
+            status = self.fault_injector.complete_status(command)
+        read_data = None
+        if status.ok and not command.is_write:
+            read_data = self._media_read(command.lba)
+        return self._service_ns(command), status, read_data
+
+    def _service_ns(self, command):
+        raise NotImplementedError
+
+    def _commit_write(self, command):
+        """Make a successful write durable (completion time)."""
+        self._media_write(command.lba, bytes(command.data))
+
+    def _service_done(self, command, status, read_data):
+        now = self.engine.now
+        command.complete_ns = now
+        if status.ok:
+            if command.is_write:
+                self._commit_write(command)
+            else:
+                command.data = read_data
+        self._free_channels += 1
+        command.status = status
+        command.visible_ns = now
+        qpair = command.qpair
+        qpair.outstanding -= 1
+        qpair.completed += 1
+        self.outstanding.add(-1)
+        latency = command.visible_ns - command.submit_ns
+        if not status.ok:
+            self.errors_completed.add()
+        elif command.is_write:
+            self.writes_completed.add()
+            self.write_latency_sum_ns += latency
+        else:
+            self.reads_completed.add()
+            self.read_latency_sum_ns += latency
+        completion = Completion(
+            command, status, command.visible_ns, attempt=command.retries
+        )
+        qpair.cq.push(completion)
+        if self.on_complete is not None:
+            self.on_complete(completion)
+        if qpair.on_complete is not None:
+            qpair.on_complete(completion)
+        self._try_start()
+
+    # ------------------------------------------------------------------
+    # statistics helpers (same surface as NvmeDevice)
+    # ------------------------------------------------------------------
+
+    def register_metrics(self, registry, labels=None):
+        registry.counter(
+            "device_reads_total", labels,
+            fn=lambda: self.reads_completed.value,
+            help="read commands completed successfully",
+        )
+        registry.counter(
+            "device_writes_total", labels,
+            fn=lambda: self.writes_completed.value,
+            help="write commands completed successfully",
+        )
+        registry.counter(
+            "device_errors_total", labels,
+            fn=lambda: self.errors_completed.value,
+            help="commands completed with a failure status",
+        )
+        registry.counter(
+            "device_probe_calls_total", labels,
+            fn=lambda: self.probe_calls.value,
+            help="completion-queue probe calls",
+        )
+        registry.gauge(
+            "device_outstanding_ops", labels,
+            fn=lambda: self.outstanding.value,
+            help="commands submitted but not yet visible-complete",
+        )
+        channels = self.profile.channels
+        registry.gauge(
+            "device_channel_busy_ratio", labels,
+            fn=lambda: (channels - self._free_channels) / channels,
+            help="fraction of device channels in service",
+        )
+        injector = self.fault_injector
+        if injector is not None:
+            registry.counter(
+                "fault_media_errors_total", labels,
+                fn=lambda: injector.media_errors_injected,
+                help="injected transient media errors",
+            )
+            registry.counter(
+                "fault_spikes_total", labels,
+                fn=lambda: injector.spikes_injected,
+                help="injected latency spikes",
+            )
+            registry.counter(
+                "fault_poison_read_failures_total", labels,
+                fn=lambda: injector.poison_read_failures,
+                help="reads failed against poisoned LBAs",
+            )
+            registry.counter(
+                "fault_poison_cured_total", labels,
+                fn=lambda: injector.poison_cured,
+                help="poisoned LBAs cured by successful writes",
+            )
+        return registry
+
+    @property
+    def total_completed(self):
+        return self.reads_completed.value + self.writes_completed.value
+
+    def mean_read_latency_ns(self):
+        n = self.reads_completed.value
+        return self.read_latency_sum_ns / n if n else 0.0
+
+    def mean_write_latency_ns(self):
+        n = self.writes_completed.value
+        return self.write_latency_sum_ns / n if n else 0.0

@@ -1,0 +1,111 @@
+"""JSONL I/O-trace format shared by recording, replay and calibration.
+
+A trace file is newline-delimited JSON:
+
+* line 1 — a header object: ``{"kind": "patree-io-trace",
+  "version": 1, "backend": "...", "page_size": N, "channels": N,
+  "quantum_ns": N}`` (extra keys allowed and preserved);
+* every further line — one serviced command, in service-start order:
+  ``{"op": "read"|"write", "lba": N, "service_ns": N, "qd": N}``
+  where ``qd`` is the device-outstanding depth when the command began
+  service.
+
+The format deliberately carries **durations, not timestamps**: replay
+re-derives arrival times from the replayed workload, so one trace
+calibrates many schedules.  Nothing in a trace identifies the host or
+the wall-clock date — traces diff cleanly and can be committed.
+"""
+
+import json
+
+from repro.errors import BackendConfigError
+
+TRACE_KIND = "patree-io-trace"
+TRACE_VERSION = 1
+
+
+class TraceWriter:
+    """Streams one I/O trace to disk, header first."""
+
+    def __init__(self, path, backend="file", page_size=512, channels=8,
+                 **extra):
+        self.path = path
+        self._handle = open(path, "w")
+        self.records = 0
+        header = {
+            "kind": TRACE_KIND,
+            "version": TRACE_VERSION,
+            "backend": backend,
+            "page_size": page_size,
+            "channels": channels,
+        }
+        header.update(extra)
+        self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def record(self, opcode, lba, service_ns, qd=0):
+        self._handle.write(
+            json.dumps(
+                {
+                    "op": opcode,
+                    "lba": lba,
+                    "service_ns": int(service_ns),
+                    "qd": int(qd),
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self.records += 1
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class IoTrace:
+    """One parsed trace: the header dict plus the record list."""
+
+    def __init__(self, header, records):
+        self.header = header
+        self.records = records
+
+    @property
+    def page_size(self):
+        return self.header.get("page_size", 512)
+
+    @property
+    def channels(self):
+        return self.header.get("channels", 8)
+
+    def service_times(self, opcode):
+        return [r["service_ns"] for r in self.records if r["op"] == opcode]
+
+    def __len__(self):
+        return len(self.records)
+
+
+def read_trace(path):
+    """Parse a trace file; typed errors for malformed input."""
+    try:
+        with open(path) as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as exc:
+        raise BackendConfigError("cannot read trace %r: %s" % (path, exc))
+    if not lines:
+        raise BackendConfigError("trace %r is empty" % (path,))
+    try:
+        header = json.loads(lines[0])
+        records = [json.loads(line) for line in lines[1:]]
+    except ValueError as exc:
+        raise BackendConfigError("trace %r is not JSONL: %s" % (path, exc))
+    if not isinstance(header, dict) or header.get("kind") != TRACE_KIND:
+        raise BackendConfigError(
+            "trace %r missing the %r header" % (path, TRACE_KIND)
+        )
+    for record in records:
+        if "op" not in record or "service_ns" not in record:
+            raise BackendConfigError(
+                "trace %r has a record without op/service_ns" % (path,)
+            )
+    return IoTrace(header, records)

@@ -170,7 +170,22 @@ def main(argv=None):
         default=None,
         help="with 'diff': relative regression threshold (default 0.10)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="I/O backend spec every exhibit runs on: 'sim' (default), "
+        "'file', 'file:<path>', or 'replay:<trace.jsonl>'",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        from repro.backend import normalize_backend_spec, set_default_backend
+
+        # fail fast on typos, then retarget every machine the
+        # exhibits build (configs that leave backend unset consult
+        # the process default)
+        normalize_backend_spec(args.backend)
+        set_default_backend(args.backend)
 
     if args.exhibit == "list":
         for name, (title, _fn) in sorted(_EXHIBITS.items()):

@@ -9,7 +9,13 @@ relative threshold in its *bad* direction:
   exceeds the old by more than the threshold,
 * **higher-is-better** leaves (throughput, goodput, IOPS) regress when
   the new value falls short of the old by more than the threshold,
-* unclassified leaves are reported when they move but never gate.
+* unclassified leaves are reported when they move but never gate,
+* leaves under a **wall-clock-variant** subtree — any dict carrying
+  ``"wall_clock_variant": true``, or a ``"backend"`` descriptor with
+  that flag (what :meth:`repro.backend.IoBackend.describe` emits for
+  the file backend) — are reported but *never* gate: their quantities
+  are host-timing measurements, not simulator outputs.  Sim and
+  replay artifacts carry no such marker and stay byte-gated.
 
 Exit status: 0 — no regression, 1 — at least one regression,
 2 — usage error (missing or unreadable artefact).  Identical artefacts
@@ -66,6 +72,40 @@ def flatten(payload, prefix=""):
     return leaves
 
 
+def wall_clock_prefixes(payload, prefix=""):
+    """Dotted prefixes of every wall-clock-variant subtree.
+
+    A subtree is wall-clock-variant when its dict carries
+    ``wall_clock_variant: true`` directly or via a nested ``backend``
+    descriptor; every numeric leaf underneath is excluded from gating.
+    """
+    prefixes = set()
+    if isinstance(payload, dict):
+        backend = payload.get("backend")
+        if payload.get("wall_clock_variant") is True or (
+            isinstance(backend, dict)
+            and backend.get("wall_clock_variant") is True
+        ):
+            prefixes.add(prefix)
+        for key, value in payload.items():
+            path = "%s.%s" % (prefix, key) if prefix else str(key)
+            prefixes.update(wall_clock_prefixes(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            prefixes.update(
+                wall_clock_prefixes(value, "%s[%d]" % (prefix, index))
+            )
+    return prefixes
+
+
+def _under(path, prefixes):
+    return any(
+        path == prefix or path.startswith(prefix + ".")
+        or path.startswith(prefix + "[")
+        for prefix in prefixes
+    )
+
+
 def classify(path):
     """``"lower"``, ``"higher"`` or None (not a gated quantity)."""
     lowered = path.lower()
@@ -91,11 +131,15 @@ def compare(old_payload, new_payload, threshold=DEFAULT_THRESHOLD):
     """
     old_leaves = flatten(old_payload)
     new_leaves = flatten(new_payload)
+    variant = wall_clock_prefixes(old_payload) | wall_clock_prefixes(
+        new_payload
+    )
     shared = sorted(set(old_leaves) & set(new_leaves))
     findings = {
         "regressions": [],
         "improvements": [],
         "drifts": [],
+        "wall_clock": [],
         "added": sorted(set(new_leaves) - set(old_leaves)),
         "removed": sorted(set(old_leaves) - set(new_leaves)),
     }
@@ -106,7 +150,9 @@ def compare(old_payload, new_payload, threshold=DEFAULT_THRESHOLD):
         change = _relative_change(old, new)
         direction = classify(path)
         row = {"path": path, "old": old, "new": new, "change": change}
-        if direction is None:
+        if _under(path, variant):
+            findings["wall_clock"].append(row)
+        elif direction is None:
             findings["drifts"].append(row)
         elif direction == "lower":
             if change > threshold:
@@ -146,18 +192,24 @@ def report(findings, threshold, out=print):
             "drift      %-48s %s -> %s (not gated)"
             % (row["path"], row["old"], row["new"])
         )
+    for row in findings.get("wall_clock", ()):
+        out(
+            "wallclock  %-48s %s -> %s (wall-clock variant, not gated)"
+            % (row["path"], row["old"], row["new"])
+        )
     for path in findings["removed"]:
         out("removed    %s" % path)
     for path in findings["added"]:
         out("added      %s" % path)
     ok = not findings["regressions"]
     out(
-        "diff: %d regression(s), %d improvement(s), %d drift(s) "
-        "at threshold %.0f%% -> %s"
+        "diff: %d regression(s), %d improvement(s), %d drift(s), "
+        "%d wall-clock-variant change(s) at threshold %.0f%% -> %s"
         % (
             len(findings["regressions"]),
             len(findings["improvements"]),
             len(findings["drifts"]),
+            len(findings.get("wall_clock", ())),
             threshold * 100.0,
             "PASS" if ok else "FAIL",
         )

@@ -11,8 +11,8 @@ immediately replaced — the standard ``fio``-style device microbench.
 """
 
 from repro.bench.report import print_series
-from repro.nvme.device import NvmeDevice, i3_nvme_profile
-from repro.nvme.driver import NvmeDriver
+from repro.backend import make_backend
+from repro.nvme.device import i3_nvme_profile
 from repro.sim.clock import NS_PER_SEC, to_usec, usec
 from repro.sim.engine import Engine
 
@@ -32,8 +32,9 @@ def run_fixed_qd(
     """One microbench point; returns {iops, mean_latency_us, ...}."""
     engine = Engine(seed=seed)
     profile = device_profile or i3_nvme_profile()
-    device = NvmeDevice(engine, profile)
-    driver = NvmeDriver(device)
+    backend = make_backend("sim", engine=engine, profile=profile)
+    device = backend.device
+    driver = backend.driver
     qpair = driver.alloc_qpair(sq_size=4096, cq_size=4096)
     rng = engine.rng.stream("fig3")
     probe_ns = max(usec(probe_cycle_us), usec(0.5))

@@ -12,6 +12,7 @@ Every run is deterministic in (spec, seed); sweeps fork the seed so
 arms are paired.
 """
 
+from repro.backend import make_backend
 from repro.baselines.io_service import DedicatedIoService, SharedIoService
 from repro.baselines.latching import BlockingLatchTable
 from repro.baselines.runner import BaselineRunner
@@ -22,8 +23,7 @@ from repro.core.ops import sync_op
 from repro.core.source import ClosedLoopSource, OpenLoopSource
 from repro.core.tree import PaTree
 from repro.errors import BenchmarkError
-from repro.nvme.device import NvmeDevice, i3_nvme_profile
-from repro.nvme.driver import NvmeDriver
+from repro.nvme.device import i3_nvme_profile
 from repro.sched import SCHEDULERS, make_scheduler
 from repro.sim.clock import NS_PER_SEC
 from repro.sim.engine import Engine
@@ -101,16 +101,31 @@ def _interleave_syncs(operations, sync_every):
 
 
 class _Machine:
-    """One simulated machine with a freshly formatted tree."""
+    """One simulated machine with a freshly formatted tree.
+
+    ``backend`` is a spec (see :mod:`repro.backend`); ``None`` takes
+    the process default, so ``repro.bench --backend file`` retargets
+    every exhibit built on this harness.
+    """
 
     def __init__(self, seed, device_profile=None, payload_size=8,
-                 faults=None, retry=None):
+                 faults=None, retry=None, backend=None):
         self.engine = Engine(seed=seed)
         self.simos = SimOS(self.engine, paper_testbed_profile())
         self.device_profile = device_profile or i3_nvme_profile()
-        self.device = NvmeDevice(self.engine, self.device_profile, faults=faults)
-        self.driver = NvmeDriver(self.device, retry=retry)
+        self.backend = make_backend(
+            backend,
+            engine=self.engine,
+            profile=device_profile,
+            faults=faults,
+            retry=retry,
+        )
+        self.device = self.backend.device
+        self.driver = self.backend.driver
         self.tree = PaTree.create(self.device, payload_size=payload_size)
+
+    def close(self):
+        self.backend.close()
 
 
 def _finish_stats(result, machine, completed, latencies, group, end_ns=None):
@@ -162,6 +177,7 @@ def run_pa(
     trace=False,
     faults=None,
     retry=None,
+    backend=None,
 ):
     """Run one PA-Tree experiment; returns the flat stats dict.
 
@@ -177,7 +193,7 @@ def run_pa(
     reproduces the fault-free numbers bit for bit.
     """
     machine = _Machine(seed, device_profile, spec.payload_size,
-                       faults=faults, retry=retry)
+                       faults=faults, retry=retry, backend=backend)
     rng = RngRegistry(seed).stream("workload")
     workload = spec.build(rng)
     machine.tree.bulk_load(workload.preload_items(), fill_factor)
@@ -206,7 +222,7 @@ def run_pa(
     buffer = make_buffer(persistence, buffer_pages)
     pa = PaTreeEngine(
         machine.simos,
-        machine.driver,
+        machine.backend,
         machine.tree,
         policy,
         source=source,
@@ -244,9 +260,11 @@ def run_pa(
         result["io_retries"] = machine.driver.retries_scheduled.value
         result["io_escalations"] = pa.io_escalations.value
         result["lost_writes"] = pa.lost_writes.value
+    if machine.backend.kind != "sim":
+        result["backend"] = machine.backend.describe()
     if session is not None:
         result["trace_session"] = session
-    return _finish_stats(
+    stats = _finish_stats(
         result,
         machine,
         pa.user_completed,
@@ -254,6 +272,8 @@ def run_pa(
         "pa-tree",
         end_ns=pa.last_user_done_ns,
     )
+    machine.close()
+    return stats
 
 
 def run_sync_baseline(
@@ -305,6 +325,7 @@ def run_sync_baseline(
         "threads": n_threads,
         "scheduler": "synchronous",
     }
+    machine.close()
     return _finish_stats(
         result,
         machine,

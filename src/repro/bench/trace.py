@@ -44,9 +44,9 @@ def _pa_target(description, mix="default", persistence="strong",
 
 def _run_palsm(ops, seed):
     """Traced PA-LSM run (the paper's future-work extension)."""
+    from repro.backend import make_backend
     from repro.core.source import ClosedLoopSource
-    from repro.nvme.device import NvmeDevice, i3_nvme_profile
-    from repro.nvme.driver import NvmeDriver
+    from repro.nvme.device import i3_nvme_profile
     from repro.obs import TraceSession
     from repro.palsm import AsyncLsmStore, PolledLsmWorker
     from repro.sched.naive import NaiveScheduling
@@ -57,8 +57,8 @@ def _run_palsm(ops, seed):
 
     engine = Engine(seed=seed)
     simos = SimOS(engine, paper_testbed_profile())
-    device = NvmeDevice(engine, i3_nvme_profile())
-    driver = NvmeDriver(device)
+    backend = make_backend("sim", engine=engine, profile=i3_nvme_profile())
+    device = backend.device
     store = AsyncLsmStore(device, persistence="strong")
     spec = WorkloadSpec(kind="ycsb", n_keys=20_000, n_ops=ops or 2_000)
     workload = spec.build(RngRegistry(seed).stream("workload"))
@@ -68,7 +68,7 @@ def _run_palsm(ops, seed):
     session = TraceSession(engine)
     worker = PolledLsmWorker(
         simos,
-        driver,
+        backend,
         store,
         NaiveScheduling(),
         ClosedLoopSource([], window=1),

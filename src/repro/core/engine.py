@@ -41,6 +41,7 @@ from repro.errors import (
     SchedulerError,
     TreeError,
 )
+from repro.backend.base import as_backend
 from repro.nvme.command import Completion, OP_READ
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.metrics import (
@@ -69,7 +70,7 @@ class PaTreeEngine:
     def __init__(
         self,
         simos,
-        driver,
+        backend,
         tree,
         policy,
         source,
@@ -91,13 +92,17 @@ class PaTreeEngine:
         self.simos = simos
         self.engine = simos.engine
         self.clock = simos.engine.clock
-        self.driver = driver
+        # the engine speaks the IoBackend contract; a bare NvmeDriver
+        # (the historical wiring) is adopted into a SimNvmeBackend, so
+        # both spellings drive the identical code path
+        self.backend = as_backend(backend)
+        self.driver = self.backend
         self.tree = tree
         self.policy = policy
         self.source = source
         self.buffer = buffer
         self.persistence = persistence
-        self.qpair = qpair or driver.alloc_qpair(sq_size=4096, cq_size=4096)
+        self.qpair = qpair or self.backend.alloc_qpair(sq_size=4096, cq_size=4096)
         self.dedicated_poller = dedicated_poller
         self.name = name
         # observability: tracer records spans when enabled; op_observer
@@ -218,7 +223,7 @@ class PaTreeEngine:
         driver = self.driver
         policy = self.policy
         source = self.source
-        profile = driver.device.profile
+        profile = driver.profile
         poller = self.dedicated_poller is not None
         while True:
             worked = False
@@ -319,7 +324,7 @@ class PaTreeEngine:
         """Dedicated polling thread (PAD / PAD+ variants, Fig 11)."""
         costs = self.tree.costs
         driver = self.driver
-        profile = driver.device.profile
+        profile = driver.profile
         model = getattr(self.policy, "probe_model", None)
         use_model = self.dedicated_poller == POLLER_MODEL and model is not None
         max_gap_ns = getattr(self.policy, "max_probe_gap_ns", 100_000)

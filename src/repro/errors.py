@@ -54,6 +54,15 @@ class LivelockError(SimulationError):
     """
 
 
+class BackendConfigError(ReproError):
+    """An I/O backend spec could not be resolved.
+
+    Raised by :func:`repro.backend.make_backend` for unknown backend
+    names, malformed spec strings, or sharded configurations that mix
+    different per-shard backends.
+    """
+
+
 class DeviceError(ReproError):
     """The NVMe device model rejected a request."""
 

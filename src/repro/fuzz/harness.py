@@ -458,19 +458,18 @@ def _sync_tree_check(seed, cfg, preload, specs, results, final_items):
     from repro.baselines.latching import BlockingLatchTable
     from repro.baselines.runner import BaselineRunner
     from repro.baselines.sync_tree import SyncTreeAccessor
+    from repro.backend import make_backend
     from repro.core.tree import PaTree
-    from repro.nvme.device import NvmeDevice
-    from repro.nvme.driver import NvmeDriver
     from repro.sim.engine import Engine
     from repro.simos.scheduler import SimOS
 
     engine = Engine(seed=seed)
     simos = SimOS(engine, OsProfile(cores=max(cfg.cores, 1)))
-    device = NvmeDevice(engine, fast_test_profile())
-    tree = PaTree.create(device, payload_size=cfg.payload_size)
+    backend = make_backend("sim", engine=engine, profile=fast_test_profile())
+    tree = PaTree.create(backend.device, payload_size=cfg.payload_size)
     tree.bulk_load(preload)
     accessor = SyncTreeAccessor(
-        tree, DedicatedIoService(NvmeDriver(device)), BlockingLatchTable()
+        tree, DedicatedIoService(backend.driver), BlockingLatchTable()
     )
     ops = [spec.to_operation() for spec in specs]
     BaselineRunner(simos, accessor, ops, n_threads=1).run_to_completion()

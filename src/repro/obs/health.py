@@ -105,6 +105,41 @@ class MetricsSession:
         self._chain(device, "on_complete", make_hook)
         return self
 
+    def attach_backend(self, backend, shard=None):
+        """Attach one :class:`~repro.backend.IoBackend` on its own.
+
+        Registers the backend's full driver + device metric family and
+        taps completions and retries.  For a backend *with* a worker on
+        top prefer :meth:`attach_worker`, whose ``register_metrics``
+        fan-out and retry tap already cover the backend underneath.
+        """
+        backend.register_metrics(
+            self.registry, labels=self._shard_labels(shard)
+        )
+        flight = self.flight
+
+        def make_complete_hook(previous):
+            def on_complete(completion):
+                if previous is not None:
+                    previous(completion)
+                flight.record_completion(
+                    completion.command, completion.ok, completion.status
+                )
+
+            return on_complete
+
+        def make_retry_hook(previous):
+            def on_retry(completion):
+                if previous is not None:
+                    previous(completion)
+                flight.record_retry(completion)
+
+            return on_retry
+
+        self._chain(backend.device, "on_complete", make_complete_hook)
+        self._chain(backend.driver, "on_retry", make_retry_hook)
+        return self
+
     def attach_worker(self, worker, shard=None):
         """Register a worker stack's metrics and observe its operations.
 

@@ -81,6 +81,19 @@ class TraceSession:
         )
         return self
 
+    def attach_backend(self, backend, name=None):
+        """Hook one :class:`~repro.backend.IoBackend` into the recording.
+
+        Taps both planes of the backend: the device's submit/complete
+        hooks (as :meth:`attach_device`) plus the driver's retry hook.
+        Use this when observing a backend without a worker on top;
+        :meth:`attach_worker` installs the same retry tap itself.
+        """
+        self.attach_device(backend.device, name=name)
+        self._drivers.append(backend.driver)
+        backend.driver.on_retry = self._on_io_retry
+        return self
+
     def attach_simos(self, simos):
         self._simos = simos
         simos.on_thread_state = self._on_thread_state

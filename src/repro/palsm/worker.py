@@ -30,6 +30,7 @@ from repro.errors import (
     RetryExhaustedError,
     SchedulerError,
 )
+from repro.backend.base import as_backend
 from repro.nvme.command import OP_READ
 from repro.obs.tracer import NULL_TRACER
 from repro.palsm.store import (
@@ -56,12 +57,15 @@ _INTERNAL_KINDS = (OP_FLUSH, OP_COMPACT, SYNC)
 class PolledLsmWorker:
     """Single polled-mode worker over an :class:`AsyncLsmStore`."""
 
-    def __init__(self, simos, driver, store, policy, source, name="pa-lsm",
+    def __init__(self, simos, backend, store, policy, source, name="pa-lsm",
                  tracer=None):
         self.simos = simos
         self.engine = simos.engine
         self.clock = simos.engine.clock
-        self.driver = driver
+        # like the tree engine, the worker speaks the IoBackend
+        # contract; a bare NvmeDriver is adopted onto it unchanged
+        self.backend = as_backend(backend)
+        self.driver = self.backend
         self.store = store
         self.policy = policy
         self.source = source
@@ -69,7 +73,7 @@ class PolledLsmWorker:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.op_observer = None
         self._track = "worker:%s" % name
-        self.qpair = driver.alloc_qpair(sq_size=4096, cq_size=4096)
+        self.qpair = self.backend.alloc_qpair(sq_size=4096, cq_size=4096)
 
         from repro.sched.history import IoHistory
 
@@ -155,7 +159,7 @@ class PolledLsmWorker:
     def _worker_body(self):
         driver = self.driver
         policy = self.policy
-        profile = driver.device.profile
+        profile = driver.profile
         while True:
             worked = False
 

@@ -15,8 +15,7 @@ trains the same model class with pandas; we use ``numpy.linalg``).
 
 import numpy as np
 
-from repro.nvme.device import NvmeDevice
-from repro.nvme.driver import NvmeDriver
+from repro.backend import make_backend
 from repro.sched.history import DEFAULT_SLICES, DEFAULT_WINDOW_US, IoHistory
 from repro.sim.clock import usec
 from repro.sim.engine import Engine
@@ -74,8 +73,11 @@ def train_probe_model(
     least-squares system.
     """
     engine = Engine(seed=engine_seed)
-    device = NvmeDevice(engine, device_profile, rng_name="probe_train")
-    driver = NvmeDriver(device)
+    backend = make_backend(
+        "sim", engine=engine, profile=device_profile, rng_name="probe_train"
+    )
+    device = backend.device
+    driver = backend.driver
     qpair = driver.alloc_qpair()
     history = IoHistory(engine.clock, window_us, slices)
     rng = engine.rng.stream("probe_train_load")

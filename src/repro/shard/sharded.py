@@ -3,7 +3,7 @@
 The paper shows one polled working thread saturating one NVMe SSD.
 This module scales the paradigm *out*: the key space is hash- or
 range-partitioned across N shards, each shard a fully independent
-``(NvmeDevice, NvmeDriver, PaTree, PaTreeEngine)`` stack with its own
+``(IoBackend, PaTree, PaTreeEngine)`` stack with its own
 queue pair, latch table, buffer and polled working thread — all on the
 shared :class:`~repro.simos.scheduler.SimOS`, so the whole fleet runs
 inside one deterministic simulation.  Because shards share *nothing*
@@ -33,9 +33,14 @@ from repro.core.engine import PERSISTENCE_STRONG, PaTreeEngine
 from repro.core.ops import BATCH, RANGE, SYNC, batch_op, range_op, sync_op
 from repro.core.source import OperationSource
 from repro.core.tree import PaTree, check_bulk_items
-from repro.errors import SchedulerError
-from repro.nvme.device import NvmeDevice, i3_nvme_profile
-from repro.nvme.driver import NvmeDriver
+from repro.backend import (
+    IoBackend,
+    BackendSpec,
+    make_backend,
+    normalize_shard_backends,
+)
+from repro.errors import BackendConfigError, SchedulerError
+from repro.nvme.device import i3_nvme_profile
 from repro.sched import NaiveScheduling
 from repro.sim.metrics import LatencyRecorder
 
@@ -114,6 +119,13 @@ class ShardedPaTree:
         devices (profiles are immutable calibration constants).  Each
         device still draws service times from its own named RNG
         stream, so shards are stochastically independent.
+    backend:
+        One backend spec (see :mod:`repro.backend`) applied to every
+        shard, or a per-shard list whose entries must normalize
+        identically — shards are shared-nothing but must sit on the
+        same kind of substrate.  File backends with an explicit path
+        get a ``.shard<i>`` suffix per shard so scratch files never
+        collide.
     """
 
     def __init__(
@@ -129,6 +141,7 @@ class ShardedPaTree:
         qpair_size=4096,
         faults=None,
         retry=None,
+        backend=None,
     ):
         if n_shards < 1:
             raise SchedulerError("need at least one shard")
@@ -148,6 +161,18 @@ class ShardedPaTree:
             ((1 << 64) // n_shards) * i for i in range(1, n_shards)
         ]
 
+        backend_spec = normalize_shard_backends(backend, n_shards)
+        if isinstance(backend_spec, IoBackend) and n_shards > 1:
+            raise BackendConfigError(
+                "a built backend instance cannot be shared across %d "
+                "shards; pass a spec instead" % n_shards
+            )
+        self.backend_kind = (
+            backend_spec.kind
+            if isinstance(backend_spec, (IoBackend, BackendSpec))
+            else "sim"
+        )
+        self.backends = []
         self.devices = []
         self.drivers = []
         self.trees = []
@@ -156,28 +181,32 @@ class ShardedPaTree:
         for index in range(n_shards):
             # each shard's device builds its own injector from the
             # shared fault config, drawing from its own named stream
-            device = NvmeDevice(
-                self.engine,
-                self.device_profile,
+            shard_backend = make_backend(
+                self._shard_spec(backend_spec, index),
+                engine=self.engine,
+                profile=self.device_profile,
                 rng_name="nvme-shard-%d" % index,
                 faults=faults,
+                retry=retry,
             )
-            driver = NvmeDriver(device, retry=retry)
-            tree = PaTree.create(device, payload_size=payload_size)
+            tree = PaTree.create(shard_backend.device, payload_size=payload_size)
             source = _ShardSource(self)
             worker = PaTreeEngine(
                 simos,
-                driver,
+                shard_backend,
                 tree,
                 policy_factory(),
                 source=source,
                 buffer=make_buffer(persistence, buffer_pages_per_shard),
                 persistence=persistence,
-                qpair=driver.alloc_qpair(sq_size=qpair_size, cq_size=qpair_size),
+                qpair=shard_backend.alloc_qpair(
+                    sq_size=qpair_size, cq_size=qpair_size
+                ),
                 name="pa-shard-%d" % index,
             )
-            self.devices.append(device)
-            self.drivers.append(driver)
+            self.backends.append(shard_backend)
+            self.devices.append(shard_backend.device)
+            self.drivers.append(shard_backend.driver)
             self.trees.append(tree)
             self.engines.append(worker)
             self._sources.append(source)
@@ -196,6 +225,29 @@ class ShardedPaTree:
         self.user_completed = 0
         self.user_failed = 0
         self.last_user_done_ns = 0
+
+    @staticmethod
+    def _shard_spec(spec, index):
+        """Derive shard ``index``'s spec from the fleet-wide one.
+
+        File backends with an explicit scratch path get a per-shard
+        suffix; every other spec is shared as-is (each shard's device
+        still draws from its own RNG stream).
+        """
+        if (
+            isinstance(spec, BackendSpec)
+            and spec.kind == "file"
+            and spec.options.get("path")
+        ):
+            options = dict(spec.options)
+            options["path"] = "%s.shard%d" % (options["path"], index)
+            return BackendSpec("file", **options)
+        return spec
+
+    def close(self):
+        """Release every shard backend's host-side resources."""
+        for shard_backend in self.backends:
+            shard_backend.close()
 
     # ------------------------------------------------------------------
     # placement

@@ -105,6 +105,60 @@ def test_added_and_removed_keys_reported_not_gated():
 
 
 # ----------------------------------------------------------------------
+# wall-clock-variant exclusion (file backend artifacts)
+# ----------------------------------------------------------------------
+
+
+def test_wall_clock_prefixes_found_directly_and_via_backend_key():
+    payload = {
+        "result": {"backend": {"kind": "file", "wall_clock_variant": True}},
+        "calibration": {"wall_clock_variant": True},
+        "rows": [{"backend": {"wall_clock_variant": True}}],
+    }
+    prefixes = diff.wall_clock_prefixes(payload)
+    # nested backend descriptors may add redundant sub-prefixes; the
+    # contract is that each variant subtree root is covered
+    assert {"result", "calibration", "rows[0]"} <= prefixes
+
+
+def test_wall_clock_variant_subtree_never_gates():
+    old = {
+        "result": {
+            "backend": {"wall_clock_variant": True},
+            "p99_latency_us": 100.0,
+        },
+        "sim": {"p99_latency_us": 50.0},
+    }
+    new = {
+        "result": {
+            "backend": {"wall_clock_variant": True},
+            "p99_latency_us": 900.0,  # wild wall-clock swing: not gated
+        },
+        "sim": {"p99_latency_us": 50.0},
+    }
+    findings = diff.compare(old, new, threshold=0.05)
+    assert findings["regressions"] == []
+    assert [r["path"] for r in findings["wall_clock"]] == [
+        "result.p99_latency_us"
+    ]
+
+
+def test_sim_leaves_still_gate_next_to_wall_clock_subtrees():
+    old = {
+        "file": {"backend": {"wall_clock_variant": True}, "iops": 10.0},
+        "sim": {"p99_latency_us": 50.0},
+    }
+    new = {
+        "file": {"backend": {"wall_clock_variant": True}, "iops": 2.0},
+        "sim": {"p99_latency_us": 500.0},
+    }
+    findings = diff.compare(old, new, threshold=0.05)
+    assert [r["path"] for r in findings["regressions"]] == [
+        "sim.p99_latency_us"
+    ]
+
+
+# ----------------------------------------------------------------------
 # file-level gate and exit codes
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""Backend-boundary rules: storage goes through ``repro.backend``.
+
+The device/driver boundary is carved into the ``repro.backend``
+package: every layer above it reaches storage through an
+:class:`~repro.backend.IoBackend` built by
+:func:`~repro.backend.make_backend` (or adopted by ``as_backend``).
+A direct ``NvmeDevice(...)`` / ``NvmeDriver(...)`` construction
+anywhere else hard-wires that call site to the simulated substrate —
+it silently drops out of ``--backend file`` / ``--backend replay``
+runs and bypasses the factory's spec validation, so PA408 flags it.
+"""
+
+import ast
+
+from ..framework import Rule
+
+#: Dotted origins whose direct construction is the finding.
+_DIRECT_CONSTRUCTORS = frozenset(
+    {
+        "repro.nvme.device.NvmeDevice",
+        "repro.nvme.driver.NvmeDriver",
+    }
+)
+
+
+def _inside_boundary(path):
+    """The backend package and the NVMe model itself build these."""
+    return "/repro/backend/" in path or "/repro/nvme/" in path
+
+
+class DirectDeviceConstructionRule(Rule):
+    """PA408: ``NvmeDevice`` / ``NvmeDriver`` built outside the factory.
+
+    Fires on direct construction calls in ``src/`` outside
+    ``repro.backend`` and ``repro.nvme``.  Call sites should go
+    through ``repro.backend.make_backend`` (spec-driven) or
+    ``repro.backend.as_backend`` (adopting an existing stack); tests
+    are out of scope and may wire the model directly.
+    """
+
+    code = "PA408"
+    name = "direct-device-construction"
+    summary = "NvmeDevice/NvmeDriver constructed outside repro.backend"
+    scopes = ("src",)
+    node_types = (ast.Call,)
+
+    def visit(self, node, ctx):
+        if _inside_boundary(ctx.path):
+            return
+        dotted = ctx.resolve(node.func)
+        if dotted not in _DIRECT_CONSTRUCTORS:
+            return
+        cls = dotted.rsplit(".", 1)[1]
+        yield ctx.finding(
+            node,
+            self.code,
+            "direct %s construction bypasses the backend boundary; build "
+            "the stack with repro.backend.make_backend (or adopt it with "
+            "as_backend) so the call site follows --backend retargeting"
+            % cls,
+        )
