@@ -62,7 +62,7 @@ from repro.errors import (
 )
 from repro.faults import FaultConfig
 from repro.nvme.command import IoStatus
-from repro.nvme.driver import RetryPolicy
+from repro.backend import RetryPolicy
 from repro.shard import ShardedPaTree
 
 __version__ = "1.6.0"

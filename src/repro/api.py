@@ -65,8 +65,7 @@ from repro.core.ops import (
 from repro.core.source import ClosedLoopSource
 from repro.core.tree import PaTree, check_bulk_items
 from repro.errors import BatchError, ReproError
-from repro.nvme.device import i3_nvme_profile
-from repro.nvme.driver import RetryPolicy
+from repro.backend import RetryPolicy, i3_nvme_profile
 from repro.sched import make_scheduler
 from repro.sim.engine import Engine
 from repro.simos.scheduler import SimOS, paper_testbed_profile

@@ -43,6 +43,13 @@ from repro.backend.replay import (
 from repro.backend.trace_io import IoTrace, TraceWriter, read_trace
 from repro.errors import BackendConfigError
 
+# Device/driver knobs re-exported as the public face of the boundary:
+# everything outside this package takes profiles and retry policies
+# from here (patlint PA502 flags repro.nvme.device / repro.nvme.driver
+# imports anywhere else in src/).
+from repro.nvme.device import DeviceProfile, fast_test_profile, i3_nvme_profile
+from repro.nvme.driver import RetryPolicy
+
 BACKEND_KINDS = ("sim", "file", "replay")
 
 _DEFAULT_SPEC = "sim"
@@ -208,18 +215,22 @@ __all__ = [
     "BACKEND_KINDS",
     "BackendConfigError",
     "BackendSpec",
+    "DeviceProfile",
     "FileBackend",
     "FilePageDevice",
     "IoBackend",
     "IoTrace",
     "PageDeviceBase",
     "ReplayPageDevice",
+    "RetryPolicy",
     "SimNvmeBackend",
     "TraceReplayBackend",
     "TraceWriter",
     "as_backend",
+    "fast_test_profile",
     "file_backend_profile",
     "get_default_backend",
+    "i3_nvme_profile",
     "make_backend",
     "normalize_backend_spec",
     "normalize_shard_backends",

@@ -11,7 +11,7 @@ PA — the paper's conclusion that the extra thread buys nothing.
 from repro.bench.report import print_table
 from repro.bench.runner import WorkloadSpec, run_pa
 from repro.core.engine import POLLER_CONTINUOUS, POLLER_MODEL
-from repro.nvme.device import i3_nvme_profile
+from repro.backend import i3_nvme_profile
 from repro.sched.probe_model import cached_probe_model
 from repro.sched.workload_aware import WorkloadAwareScheduling
 

@@ -10,7 +10,7 @@ low load with no throughput penalty.
 
 from repro.bench.report import print_table
 from repro.bench.runner import WorkloadSpec, run_pa
-from repro.nvme.device import i3_nvme_profile
+from repro.backend import i3_nvme_profile
 from repro.sched.probe_model import cached_probe_model
 from repro.sched.workload_aware import WorkloadAwareScheduling
 

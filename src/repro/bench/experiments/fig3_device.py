@@ -11,8 +11,7 @@ immediately replaced — the standard ``fio``-style device microbench.
 """
 
 from repro.bench.report import print_series
-from repro.backend import make_backend
-from repro.nvme.device import i3_nvme_profile
+from repro.backend import i3_nvme_profile, make_backend
 from repro.sim.clock import NS_PER_SEC, to_usec, usec
 from repro.sim.engine import Engine
 

@@ -23,7 +23,7 @@ from repro.core.ops import sync_op
 from repro.core.source import ClosedLoopSource, OpenLoopSource
 from repro.core.tree import PaTree
 from repro.errors import BenchmarkError
-from repro.nvme.device import i3_nvme_profile
+from repro.backend import i3_nvme_profile
 from repro.sched import SCHEDULERS, make_scheduler
 from repro.sim.clock import NS_PER_SEC
 from repro.sim.engine import Engine

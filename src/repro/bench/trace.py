@@ -44,9 +44,8 @@ def _pa_target(description, mix="default", persistence="strong",
 
 def _run_palsm(ops, seed):
     """Traced PA-LSM run (the paper's future-work extension)."""
-    from repro.backend import make_backend
+    from repro.backend import i3_nvme_profile, make_backend
     from repro.core.source import ClosedLoopSource
-    from repro.nvme.device import i3_nvme_profile
     from repro.obs import TraceSession
     from repro.palsm import AsyncLsmStore, PolledLsmWorker
     from repro.sched.naive import NaiveScheduling

@@ -43,7 +43,7 @@ from repro.errors import (
 )
 from repro.backend.base import as_backend
 from repro.nvme.command import Completion, OP_READ
-from repro.obs.tracer import NULL_TRACER
+from repro.sim.nulltrace import NULL_TRACER
 from repro.sim.metrics import (
     CPU_NVME,
     CPU_REAL_WORK,

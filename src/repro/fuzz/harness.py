@@ -38,7 +38,7 @@ from repro.errors import (
 )
 from repro.fuzz.hooks import FuzzConfig, HookBinder, ScheduleExplorer, TraceDecider
 from repro.fuzz.shrink import shrink_trace
-from repro.nvme.device import fast_test_profile
+from repro.backend import fast_test_profile
 from repro.obs.flight import FlightRecorder
 from repro.sim.rng import RngRegistry
 from repro.simos.scheduler import OsProfile

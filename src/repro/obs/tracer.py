@@ -22,6 +22,14 @@ The tracer only appends tuples to a list; all formatting lives in
 events are dropped and counted in :attr:`Tracer.dropped`.
 """
 
+# NullTracer lives in the foundation layer so engine components can
+# hold the disabled default without importing repro.obs (PA501); it
+# is re-exported here because observability callers look for it next
+# to Tracer.
+from repro.sim.nulltrace import NULL_TRACER, NullTracer
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]
+
 # Internal record kinds (first element of each event tuple).
 EV_SLICE = "slice"
 EV_INSTANT = "instant"
@@ -125,48 +133,3 @@ class Tracer:
     def __len__(self):
         return len(self.events)
 
-
-class NullTracer:
-    """Disabled tracer: every call is a no-op.
-
-    Components hold this by default so the enabled check is one
-    attribute read (``if self.tracer.enabled:``) and the disabled path
-    never allocates or branches further.
-    """
-
-    enabled = False
-    events = ()
-    dropped = 0
-
-    def track_id(self, track):
-        return 0
-
-    def begin(self, track, name, cat="", args=None):
-        return None
-
-    def end(self, span, args=None):
-        pass
-
-    def complete(self, track, name, start_ns, end_ns, cat="", args=None):
-        pass
-
-    def instant(self, track, name, cat="", args=None):
-        pass
-
-    def async_begin(self, cat, aid, name, args=None):
-        pass
-
-    def async_instant(self, cat, aid, name, args=None):
-        pass
-
-    def async_end(self, cat, aid, name, args=None):
-        pass
-
-    def counter(self, track, name, values):
-        pass
-
-    def __len__(self):
-        return 0
-
-
-NULL_TRACER = NullTracer()

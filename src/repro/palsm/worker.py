@@ -32,7 +32,7 @@ from repro.errors import (
 )
 from repro.backend.base import as_backend
 from repro.nvme.command import OP_READ
-from repro.obs.tracer import NULL_TRACER
+from repro.sim.nulltrace import NULL_TRACER
 from repro.palsm.store import (
     BackgroundWriteEff,
     OP_COMPACT,

@@ -28,7 +28,7 @@ def make_scheduler(name, device_profile=None):
     """
     if name == "workload_aware":
         if device_profile is None:
-            from repro.nvme.device import i3_nvme_profile
+            from repro.backend import i3_nvme_profile
 
             device_profile = i3_nvme_profile()
         return WorkloadAwareScheduling(cached_probe_model(device_profile))

@@ -40,7 +40,7 @@ from repro.backend import (
     normalize_shard_backends,
 )
 from repro.errors import BackendConfigError, SchedulerError
-from repro.nvme.device import i3_nvme_profile
+from repro.backend import i3_nvme_profile
 from repro.sched import NaiveScheduling
 from repro.sim.metrics import LatencyRecorder
 

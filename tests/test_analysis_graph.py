@@ -1,0 +1,882 @@
+"""Tests for patlint v2's whole-program phase (PA5xx) and satellites.
+
+The graph rules see a project-shaped fixture tree (``src/repro/...``
+under a tmp dir, matching the real package prefixes so the committed
+``layers.toml`` applies), so each rule family gets seeded positive,
+negative and suppressed cases; the satellites cover repo-relative
+finding paths, the SARIF reporter, ``--changed-only``, the phase-1
+cache, Python-3.12-only syntax degradation and the lint shim's
+``--json`` forwarding.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from tools.analysis import analyze
+from tools.analysis.cli import main as patlint_main
+from tools.analysis.framework import canonical_path
+
+
+def write_tree(tmp_path, files):
+    paths = []
+    for relative, code in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(code))
+        paths.append(str(target))
+    return paths
+
+
+def graph_findings(tmp_path, files):
+    return analyze(write_tree(tmp_path, files), graph=True).findings
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+# ---------------------------------------------------------------------------
+# PA501 layering
+# ---------------------------------------------------------------------------
+
+
+def test_pa501_engine_importing_observability(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/obs/tracer.py": "TRACER = object()\n",
+            "src/repro/core/engine.py": (
+                """
+                from repro.obs.tracer import TRACER
+
+                def run():
+                    return TRACER
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA501"]
+    assert "layer 'engine'" in findings[0].message
+    assert "layer 'observability'" in findings[0].message
+    assert findings[0].path.endswith("src/repro/core/engine.py")
+
+
+def test_pa501_downward_and_same_layer_imports_are_clean(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/sim/clock.py": "NOW = 0\n",
+            "src/repro/core/engine.py": (
+                """
+                from repro.sim.clock import NOW
+                from repro.core.latch import TABLE
+
+                def run():
+                    return NOW, TABLE
+                """
+            ),
+            "src/repro/core/latch.py": "TABLE = {}\n",
+            "src/repro/obs/export.py": (
+                """
+                from repro.core.engine import run
+
+                def export():
+                    return run()
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_pa501_unmapped_module_is_drift(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {"src/repro/brandnew/widget.py": "X = 1\n"},
+    )
+    assert codes(findings) == ["PA501"]
+    assert "not assigned to any layer" in findings[0].message
+
+
+def test_pa501_suppressible_at_import_line(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/obs/tracer.py": "TRACER = object()\n",
+            "src/repro/core/engine.py": (
+                """
+                from repro.obs.tracer import TRACER  # patlint: ignore[PA501]
+
+                def run():
+                    return TRACER
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PA502 nvme boundary
+# ---------------------------------------------------------------------------
+
+
+def test_pa502_nvme_internals_outside_backend(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/sched/probe.py": (
+                """
+                from repro.nvme.device import i3_nvme_profile
+
+                def profile():
+                    return i3_nvme_profile()
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA502"]
+    assert "repro.backend" in findings[0].message
+
+
+def test_pa502_backend_and_public_contract_are_exempt(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/backend/base.py": (
+                """
+                from repro.nvme.device import NvmeDevice
+
+                def make():
+                    return NvmeDevice
+                """
+            ),
+            "src/repro/core/engine.py": (
+                """
+                from repro.nvme.command import IoStatus
+
+                def ok(c):
+                    return c is IoStatus
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PA503 import cycles
+# ---------------------------------------------------------------------------
+
+
+def test_pa503_module_level_cycle(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/a.py": (
+                """
+                from repro.core import b
+
+                X = b
+                """
+            ),
+            "src/repro/core/b.py": (
+                """
+                from repro.core import a
+
+                Y = a
+                """
+            ),
+            "src/repro/core/__init__.py": "",
+        },
+    )
+    assert codes(findings) == ["PA503"]
+    assert "repro.core.a -> repro.core.b" in findings[0].message
+
+
+def test_pa503_function_level_import_breaks_cycle(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/a.py": (
+                """
+                from repro.core import b
+
+                X = b
+                """
+            ),
+            "src/repro/core/b.py": (
+                """
+                def late():
+                    from repro.core import a
+
+                    return a
+                """
+            ),
+            "src/repro/core/__init__.py": "",
+        },
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PA510-PA512 wall-clock taint
+# ---------------------------------------------------------------------------
+
+
+def test_pa510_raw_io_source_outside_blessed_module(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/reader.py": (
+                """
+                import os
+
+                def read(fd, n, off):
+                    return os.pread(fd, n, off)
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA510"]
+    assert "os.pread" in findings[0].message
+
+
+def test_pa511_interprocedural_taint_reaches_sink(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/probe.py": (
+                """
+                import time
+
+                def measure():
+                    return time.perf_counter()  # patlint: ignore[PA101, PA510]
+                """
+            ),
+            "src/repro/core/feed.py": (
+                """
+                from repro.core.probe import measure
+
+                def go(engine):
+                    engine.schedule(measure(), None)
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA511"]
+    assert "measure" in findings[0].message
+    assert findings[0].path.endswith("feed.py")
+
+
+def test_pa511_blessed_module_sanitizes(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/backend/file.py": (
+                """
+                import time
+
+                wall_clock_variant = True
+
+                def measure():
+                    return time.perf_counter()  # patlint: ignore[PA101]
+                """
+            ),
+            "src/repro/core/feed.py": (
+                """
+                from repro.backend.file import measure
+
+                def go(engine):
+                    engine.schedule(measure(), None)
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_pa512_declaration_blessing_drift(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/rogue.py": (
+                """
+                wall_clock_variant = True
+
+                def f():
+                    return 1
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA512"]
+    assert "not" in findings[0].message and "blessed" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# PA520-PA521 latch discipline
+# ---------------------------------------------------------------------------
+
+_OPS_STUB = "src/repro/core/ops.py", (
+    """
+    class LatchEff:
+        def __init__(self, page_id, mode):
+            self.page_id = page_id
+            self.mode = mode
+
+    class UnlatchEff:
+        def __init__(self, page_id):
+            self.page_id = page_id
+
+    class UnlatchManyEff:
+        def __init__(self, page_ids):
+            self.page_ids = page_ids
+
+    class ReadEff:
+        def __init__(self, page_id):
+            self.page_id = page_id
+    """
+)
+
+
+def test_pa520_branch_leaks_latch(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            _OPS_STUB[0]: _OPS_STUB[1],
+            "src/repro/core/plans.py": (
+                """
+                from repro.core.ops import LatchEff, UnlatchEff
+
+                def plan(op, tree):
+                    meta = tree.meta_page
+                    yield LatchEff(meta, 1)
+                    if op.key:
+                        yield UnlatchEff(meta)
+                        return
+                    op.result = None
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA520"]
+    assert "meta" in findings[0].message
+
+
+def test_pa520_crabbing_descent_is_clean(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            _OPS_STUB[0]: _OPS_STUB[1],
+            "src/repro/core/plans.py": (
+                """
+                from repro.core.ops import LatchEff, ReadEff, UnlatchEff
+
+                def plan(op, tree):
+                    meta = tree.meta_page
+                    yield LatchEff(meta, 0)
+                    prev = meta
+                    page = tree.root
+                    while True:
+                        yield LatchEff(page, 0)
+                        yield UnlatchEff(prev)
+                        node = yield ReadEff(page)
+                        if node.is_leaf:
+                            yield UnlatchEff(node.page_id)
+                            return
+                        prev = page
+                        page = node.child
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_pa520_ownership_transferring_return_is_clean(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            _OPS_STUB[0]: _OPS_STUB[1],
+            "src/repro/core/plans.py": (
+                """
+                from repro.core.ops import LatchEff, UnlatchEff
+
+                def descend(op, tree):
+                    meta = tree.meta_page
+                    yield LatchEff(meta, 1)
+                    path = [meta]
+                    if op.safe:
+                        for held in path:
+                            yield UnlatchEff(held)
+                        path = [op.page]
+                    return path
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_pa520_unlatch_many_releases_everything(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            _OPS_STUB[0]: _OPS_STUB[1],
+            "src/repro/core/plans.py": (
+                """
+                from repro.core.ops import LatchEff, UnlatchManyEff
+
+                def plan(op, tree):
+                    yield LatchEff(tree.meta_page, 1)
+                    yield LatchEff(op.page, 1)
+                    yield UnlatchManyEff([tree.meta_page, op.page])
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_pa521_swallowing_handler_while_latched(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/driver.py": (
+                """
+                class Driver:
+                    def drive(self, op):
+                        self.latches.request(op, op.page, 1)
+                        try:
+                            self.step(op)
+                        except ValueError:
+                            return None
+                        self.latches.release(op, op.page)
+                        return op
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA521"]
+    assert "swallow" in findings[0].message
+
+
+def test_pa521_abort_delegation_and_protocol_handlers_are_clean(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/driver.py": (
+                """
+                class Driver:
+                    def drive(self, op):
+                        self.latches.request(op, op.page, 1)
+                        try:
+                            self.step(op)
+                        except ValueError:
+                            self._abort_op(op)
+                            return None
+                        self.latches.release(op, op.page)
+                        return op
+
+                    def pump(self, op):
+                        self.latches.request(op, op.page, 1)
+                        try:
+                            op.gen.send(None)
+                        except StopIteration:
+                            return self._finish(op)
+                        self.latches.release(op, op.page)
+                        return None
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PA530 hook contract
+# ---------------------------------------------------------------------------
+
+
+def test_pa530_unguarded_hook_consult(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/engine.py": (
+                """
+                class Engine:
+                    def __init__(self):
+                        self.on_dispatch = None
+
+                    def dispatch(self, op):
+                        self.on_dispatch(op)
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA530"]
+    assert "on_dispatch" in findings[0].message
+
+
+def test_pa530_guard_shapes_are_clean(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/engine.py": (
+                """
+                class Engine:
+                    def __init__(self):
+                        self.on_dispatch = None
+                        self.pick_runnable = None
+                        self.wakeup_pick = None
+
+                    def direct(self, op):
+                        if self.on_dispatch is not None:
+                            self.on_dispatch(op)
+
+                    def early_return(self, op):
+                        if self.on_dispatch is None:
+                            return
+                        self.on_dispatch(op)
+
+                    def else_branch(self, queue):
+                        if self.pick_runnable is None or len(queue) == 1:
+                            return queue[0]
+                        return queue[self.pick_runnable(queue)]
+
+                    def bound_collaborator(self, op):
+                        self.io_history.on_submit(op)
+                """
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_pa530_unregistered_null_default_hook_is_drift(tmp_path):
+    findings = graph_findings(
+        tmp_path,
+        {
+            "src/repro/core/engine.py": (
+                """
+                class Engine:
+                    def __init__(self):
+                        self.on_custom_thing = None
+
+                    def fire(self, op):
+                        if self.on_custom_thing is not None:
+                            self.on_custom_thing(op)
+                """
+            ),
+        },
+    )
+    assert codes(findings) == ["PA530"]
+    assert "not registered" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# phase-1 graph cache
+# ---------------------------------------------------------------------------
+
+
+def test_graph_cache_hits_on_unchanged_files(tmp_path):
+    paths = write_tree(
+        tmp_path,
+        {
+            "src/repro/core/a.py": "X = 1\n",
+            "src/repro/core/b.py": "Y = 2\n",
+        },
+    )
+    cache = str(tmp_path / "cache" / "graph.json")
+    first = analyze(paths, graph=True, graph_cache=cache)
+    assert first.graph.cache_misses == 2
+    assert first.graph.cache_hits == 0
+    second = analyze(paths, graph=True, graph_cache=cache)
+    assert second.graph.cache_hits == 2
+    assert second.graph.cache_misses == 0
+    # editing one file invalidates exactly that entry
+    (tmp_path / "src/repro/core/a.py").write_text("X = 3\n")
+    third = analyze(paths, graph=True, graph_cache=cache)
+    assert third.graph.cache_hits == 1
+    assert third.graph.cache_misses == 1
+
+
+# ---------------------------------------------------------------------------
+# satellite: repo-relative finding paths
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_path_is_repo_relative_posix():
+    absolute = os.path.join(REPO_ROOT, "src", "repro", "api.py")
+    assert canonical_path(absolute) == "src/repro/api.py"
+    # and independent of a relative spelling
+    relative = os.path.relpath(absolute)
+    assert canonical_path(relative) == "src/repro/api.py"
+
+
+def test_findings_in_repo_use_relative_paths(tmp_path):
+    # a tmp tree has no repo markers, so paths stay absolute POSIX —
+    # but inside a git checkout the same finding keys repo-relative
+    target = tmp_path / "checkout" / "src" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    subprocess.run(
+        ["git", "init", "-q", str(tmp_path / "checkout")],
+        check=True,
+        capture_output=True,
+    )
+    findings = analyze([str(target)]).findings
+    assert codes(findings) == ["PA101"]
+    assert findings[0].path == "src/mod.py"
+
+
+# ---------------------------------------------------------------------------
+# satellite: SARIF reporter
+# ---------------------------------------------------------------------------
+
+
+def test_cli_sarif_reporter_schema(tmp_path, capsys):
+    target = tmp_path / "src" / "seeded.py"
+    target.parent.mkdir()
+    target.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    exit_code = patlint_main(
+        [str(target), "--no-baseline", "--no-compile", "--format", "sarif"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    document = json.loads(out)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "patlint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    for code in ("PA101", "PA501", "PA502", "PA510", "PA520", "PA530", "PA902"):
+        assert code in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "PA101"
+    assert result["baselineState"] == "new"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("src/seeded.py")
+    assert location["region"]["startLine"] == 5
+
+
+def test_cli_sarif_output_file(tmp_path):
+    target = tmp_path / "src" / "clean.py"
+    target.parent.mkdir()
+    target.write_text("def f(x):\n    return x\n")
+    report = tmp_path / "report.sarif"
+    exit_code = patlint_main(
+        [
+            str(target),
+            "--no-baseline",
+            "--no-compile",
+            "--format",
+            "sarif",
+            "--output",
+            str(report),
+        ]
+    )
+    assert exit_code == 0
+    document = json.loads(report.read_text())
+    assert document["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# satellite: --changed-only
+# ---------------------------------------------------------------------------
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", "-C", str(cwd)] + list(args), check=True, capture_output=True
+    )
+
+
+def test_changed_only_narrows_to_diffed_files(tmp_path):
+    repo = tmp_path / "checkout"
+    (repo / "src").mkdir(parents=True)
+    (repo / "src" / "stable.py").write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n"
+    )
+    (repo / "src" / "touched.py").write_text("def g(x):\n    return x\n")
+    _git(tmp_path, "init", "-q", str(repo))
+    _git(repo, "add", "-A")
+    _git(
+        repo,
+        "-c", "user.email=t@t", "-c", "user.name=t",
+        "commit", "-q", "-m", "seed",
+    )
+    # stable.py's violation is committed; only touched.py changes
+    (repo / "src" / "touched.py").write_text(
+        "import time\n\n\ndef g():\n    return time.monotonic()\n"
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "tools.analysis",
+            "--changed-only", "--no-baseline", "--no-compile", "src",
+        ],
+        cwd=repo,
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "touched.py" in proc.stdout
+    assert "stable.py" not in proc.stdout
+
+    # with a clean worktree the narrowed run analyzes nothing
+    _git(repo, "add", "-A")
+    _git(
+        repo,
+        "-c", "user.email=t@t", "-c", "user.name=t",
+        "commit", "-q", "-m", "fix",
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "tools.analysis",
+            "--changed-only", "--no-baseline", "--no-compile", "src",
+        ],
+        cwd=repo,
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 file(s)" in proc.stdout
+
+
+def test_changed_only_skips_graph_phase(tmp_path, capsys):
+    target = tmp_path / "src" / "clean.py"
+    target.parent.mkdir()
+    target.write_text("def f(x):\n    return x\n")
+    exit_code = patlint_main(
+        [str(target), "--no-compile", "--no-baseline", "--graph", "--changed-only"]
+    )
+    err = capsys.readouterr().err
+    assert exit_code == 0
+    assert "skipping the PA5xx phase" in err
+
+
+# ---------------------------------------------------------------------------
+# satellite: 3.12-only syntax degrades to PA902, never a crash
+# ---------------------------------------------------------------------------
+
+_PEP695 = """\
+type Pages = list[int]
+
+
+def first[T](items: list[T]) -> T:
+    return items[0]
+"""
+
+
+def test_pep695_syntax_degrades_gracefully(tmp_path):
+    paths = write_tree(
+        tmp_path,
+        {
+            "src/repro/core/modern.py": _PEP695,
+            "src/repro/core/plain.py": "X = 1\n",
+        },
+    )
+    result = analyze(paths, graph=True)
+    if sys.version_info >= (3, 12):
+        assert result.findings == []
+        assert "repro.core.modern" in result.graph.modules
+    else:
+        assert codes(result.findings) == ["PA902"]
+        assert "repro.core.modern" not in result.graph.modules
+        # the parseable file is still fully analyzed
+        assert "repro.core.plain" in result.graph.modules
+
+
+# ---------------------------------------------------------------------------
+# satellite: shim forwards --json and keeps exit codes
+# ---------------------------------------------------------------------------
+
+
+def test_lint_shim_forwards_json(tmp_path):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("def f(x):\n    return x.status == 'completed'\n")
+    proc = subprocess.run(
+        [sys.executable, "tools/lint.py", "--json", str(bad)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    document = json.loads(proc.stdout)
+    assert document["tool"] == "patlint"
+    assert document["schema_version"] == 1
+    assert [f["code"] for f in document["findings"]] == ["PA302"]
+    assert "deprecated" in proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# baseline workflow covers graph findings
+# ---------------------------------------------------------------------------
+
+
+def test_graph_findings_are_baselinable(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "sched" / "probe.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "from repro.nvme.device import i3_nvme_profile\n\n\n"
+        "def profile():\n    return i3_nvme_profile()\n"
+    )
+    baseline = str(tmp_path / "baseline.json")
+    args = [str(target), "--no-compile", "--graph", "--no-graph-cache",
+            "--baseline", baseline]
+    assert patlint_main(args) == 1
+    assert patlint_main(args + ["--write-baseline"]) == 0
+    capsys.readouterr()
+    assert patlint_main(args) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+
+# ---------------------------------------------------------------------------
+# acceptance pins
+# ---------------------------------------------------------------------------
+
+
+def test_repository_graph_self_run_is_clean():
+    """The v2 acceptance invariant: zero unbaselined PA5xx over src."""
+    paths = [
+        os.path.join(REPO_ROOT, name) for name in ("src", "tests", "benchmarks")
+    ]
+    result = analyze(paths, graph=True)
+    assert result.findings == []
+    assert result.graph is not None
+    assert "repro.core.engine" in result.graph.modules
+
+
+def test_analyzer_package_self_run_with_graph_is_clean():
+    result = analyze([os.path.join(REPO_ROOT, "tools")], graph=True)
+    assert result.findings == []
+
+
+def test_list_rules_includes_graph_catalog(capsys):
+    assert patlint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in (
+        "PA501", "PA502", "PA503",
+        "PA510", "PA511", "PA512",
+        "PA520", "PA521", "PA530",
+    ):
+        assert code in out
+    assert "[graph]" in out

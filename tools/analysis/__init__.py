@@ -10,25 +10,52 @@ shared AST walk per file feeds a registry of rules with stable codes —
 * ``PA3xx`` fault-path hygiene (bare excepts, string status compares,
   non-exhaustive ``IoStatus`` dispatch),
 * ``PA4xx`` API contracts (stats-by-reference, unused imports),
+* ``PA5xx`` whole-program rules (layer map, NVMe boundary, import
+  cycles, wall-clock taint, latch discipline, hook contract) — these
+  run against the cached phase-1 project graph under ``--graph``,
 * ``PA9xx`` framework findings (stale suppressions, parse failures).
 
 Run it with ``python -m tools.analysis [paths...]`` or programmatically
-via :func:`analyze`.  See the README's "Static analysis" section for
-the rule catalog, suppression syntax and baseline workflow.
+via :func:`analyze`.  See the README's "Static analysis" section and
+``ARCHITECTURE.md`` for the rule catalog, the layer map, suppression
+syntax and the baseline workflow.
 """
 
-from .framework import Finding, Result, Rule, analyze_paths
-from .rules import all_rules
+from .framework import Finding, GraphRule, Result, Rule, analyze_paths
+from .rules import all_graph_rules, all_rules
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["Finding", "Result", "Rule", "analyze", "all_rules", "__version__"]
+__all__ = [
+    "Finding",
+    "GraphRule",
+    "Result",
+    "Rule",
+    "analyze",
+    "all_rules",
+    "all_graph_rules",
+    "__version__",
+]
 
 
-def analyze(paths, rules=None):
+def analyze(paths, rules=None, graph=False, graph_rules=None, graph_cache=None):
     """Analyze ``paths`` and return a :class:`Result`.
 
-    ``rules`` defaults to the full registry; pass a subset of rule
-    instances to run selected rules only.
+    ``rules`` defaults to the full per-file registry; pass a subset of
+    rule instances to run selected rules only.  ``graph=True`` enables
+    the whole-program phase: the project graph is built (or loaded from
+    ``graph_cache``) over the parsed files and every rule in
+    ``graph_rules`` (default: the full graph registry) runs against it.
     """
-    return analyze_paths(paths, all_rules() if rules is None else rules)
+    if graph or graph_rules is not None:
+        active_graph_rules = (
+            all_graph_rules() if graph_rules is None else graph_rules
+        )
+    else:
+        active_graph_rules = None
+    return analyze_paths(
+        paths,
+        all_rules() if rules is None else rules,
+        graph_rules=active_graph_rules,
+        graph_cache=graph_cache,
+    )

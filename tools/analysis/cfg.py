@@ -1,0 +1,216 @@
+"""Statement-level control-flow graphs for patlint's graph rules.
+
+One :class:`Cfg` per function: every simple statement is a node, with
+edges for sequencing, branches, loops (including back edges), ``break``
+/ ``continue`` / ``return`` / ``raise``, and — the part the latch rules
+live on — *exception edges*: any statement inside a ``try`` body that
+can raise gets an edge to each handler (and to the ``finally`` body),
+so "a path reaches the function exit without releasing" includes the
+path where ``risky()`` threw and the handler swallowed the error.
+
+The graph is deliberately coarse (no expression-level flow, every call
+is assumed able to raise); the latch rules only need reachability
+queries, provided by :meth:`Cfg.paths_avoiding`.
+"""
+
+import ast
+
+#: Statement types that transfer control and terminate a block.
+_JUMPS = (ast.Return, ast.Break, ast.Continue, ast.Raise)
+
+
+class Node:
+    """One statement occurrence in the CFG."""
+
+    __slots__ = ("index", "stmt", "succs", "kind")
+
+    def __init__(self, index, stmt, kind="stmt"):
+        self.index = index
+        self.stmt = stmt
+        self.kind = kind  # "stmt" | "entry" | "exit" | "raise-exit"
+        self.succs = []
+
+    def link(self, other):
+        if other is not None and other not in self.succs:
+            self.succs.append(other)
+
+    def __repr__(self):
+        label = type(self.stmt).__name__ if self.stmt is not None else self.kind
+        return "Node(%d, %s)" % (self.index, label)
+
+
+def _can_raise(stmt):
+    """Conservatively: any statement containing a call or a raise."""
+    if isinstance(stmt, ast.Raise):
+        return True
+    for sub in ast.walk(stmt):
+        if isinstance(sub, (ast.Call, ast.Subscript, ast.Attribute)):
+            return True
+    return False
+
+
+class Cfg:
+    """CFG for one function body."""
+
+    def __init__(self, funcdef):
+        self.funcdef = funcdef
+        self.nodes = []
+        self.entry = self._node(None, "entry")
+        #: normal completion (return / fall off the end)
+        self.exit = self._node(None, "exit")
+        #: completion via an exception that propagates out of the function
+        self.raise_exit = self._node(None, "raise-exit")
+        tails = self._build(funcdef.body, [self.entry], loop=None, handlers=())
+        for tail in tails:
+            tail.link(self.exit)
+
+    def _node(self, stmt, kind="stmt"):
+        node = Node(len(self.nodes), stmt, kind)
+        self.nodes.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build(self, body, preds, loop, handlers):
+        """Wire ``body``; returns the fall-through tail nodes.
+
+        ``loop`` is ``(head_node, break_sinks)`` for the innermost loop;
+        ``handlers`` is a tuple of nodes reachable by a raise (the
+        innermost try's handler entry points, or the raise-exit).
+        """
+        current = list(preds)
+        for stmt in body:
+            node = self._node(stmt)
+            for pred in current:
+                pred.link(node)
+            if _can_raise(stmt):
+                targets = handlers if handlers else (self.raise_exit,)
+                for target in targets:
+                    node.link(target)
+            if isinstance(stmt, ast.If):
+                then_tails = self._build(stmt.body, [node], loop, handlers)
+                else_tails = self._build(stmt.orelse, [node], loop, handlers)
+                if not stmt.orelse:
+                    else_tails = [node]
+                current = then_tails + else_tails
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                break_sinks = []
+                body_tails = self._build(
+                    stmt.body, [node], (node, break_sinks), handlers
+                )
+                for tail in body_tails:
+                    tail.link(node)  # back edge
+                # ``while True:`` (any truthy-constant test) never falls
+                # through; its only exits are break / return / raise
+                infinite = (
+                    isinstance(stmt, ast.While)
+                    and isinstance(stmt.test, ast.Constant)
+                    and bool(stmt.test.value)
+                )
+                if infinite:
+                    else_tails = []
+                else:
+                    else_tails = self._build(stmt.orelse, [node], loop, handlers)
+                    if not stmt.orelse:
+                        else_tails = [node]
+                current = else_tails + break_sinks
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current = self._build(stmt.body, [node], loop, handlers)
+            elif isinstance(stmt, ast.Try):
+                current = self._build_try(stmt, node, loop, handlers)
+            elif isinstance(stmt, ast.Return):
+                node.link(self.exit)
+                current = []
+            elif isinstance(stmt, ast.Raise):
+                targets = handlers if handlers else (self.raise_exit,)
+                for target in targets:
+                    node.link(target)
+                current = []
+            elif isinstance(stmt, ast.Break):
+                if loop is not None:
+                    loop[1].append(node)
+                current = []
+            elif isinstance(stmt, ast.Continue):
+                if loop is not None:
+                    node.link(loop[0])
+                current = []
+            else:
+                current = [node]
+        return current
+
+    def _build_try(self, stmt, node, loop, handlers):
+        """Try/except/else/finally wiring with exception edges."""
+        handler_entries = []
+        handler_nodes = []
+        for handler in stmt.handlers:
+            entry = self._node(handler, "stmt")
+            handler_entries.append(entry)
+            handler_nodes.append((handler, entry))
+        inner_handlers = tuple(handler_entries) or handlers or (self.raise_exit,)
+        body_tails = self._build(stmt.body, [node], loop, inner_handlers)
+        else_tails = self._build(stmt.orelse, body_tails, loop, handlers)
+        if not stmt.orelse:
+            else_tails = body_tails
+        all_tails = list(else_tails)
+        for handler, entry in handler_nodes:
+            tails = self._build(handler.body, [entry], loop, handlers)
+            all_tails.extend(tails)
+        if stmt.finalbody:
+            final_head = self._node(stmt.finalbody[0], "stmt")
+            for tail in all_tails:
+                tail.link(final_head)
+            final_tails = self._build(
+                stmt.finalbody[1:], [final_head], loop, handlers
+            )
+            # the finally body also runs on the exceptional path out
+            for target in handlers if handlers else (self.raise_exit,):
+                for tail in final_tails:
+                    tail.link(target)
+            return final_tails
+        return all_tails
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def node_for(self, stmt):
+        for node in self.nodes:
+            if node.stmt is stmt:
+                return node
+        return None
+
+    def paths_avoiding(self, start, goals, avoiding):
+        """True if a path from ``start`` reaches any of ``goals`` while
+        touching no node for which ``avoiding(node)`` holds.
+
+        ``avoiding`` is checked on intermediate nodes and on the start's
+        successors, not on ``start`` itself; goal nodes terminate the
+        search before their predicate is consulted.
+        """
+        goal_set = set(goals)
+        seen = set()
+        stack = list(start.succs)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node in goal_set:
+                return True
+            if avoiding(node):
+                continue
+            stack.extend(node.succs)
+        return False
+
+
+def iter_function_defs(tree):
+    """Yield every (possibly nested) function definition in a module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def build_cfg(funcdef):
+    return Cfg(funcdef)

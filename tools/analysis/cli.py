@@ -4,18 +4,28 @@ Exit codes: 0 clean (or every finding baselined), 1 findings or byte-
 compile failure, 2 usage errors (argparse).  Byte-compilation runs with
 ``sys.pycache_prefix`` pointed at a throwaway directory so an analysis
 run never litters the working tree with ``__pycache__``.
+
+``--graph`` enables the whole-program phase (PA5xx: layer map, NVMe
+boundary, import cycles, wall-clock taint, latch discipline, hook
+contract) on top of the per-file rules; phase-1 summaries are cached
+under ``.patlint-cache/`` keyed on file content, so warm graph runs
+only re-summarize files that changed.  ``--changed-only`` narrows the
+analyzed set to files touched relative to a git base ref, the shape a
+pre-commit hook wants.
 """
 
 import argparse
 import compileall
 import os
+import subprocess
 import sys
 import tempfile
 
-from . import analyze
+from . import __version__, analyze
 from . import baseline as baseline_module
-from .reporters import render_json, render_text
-from .rules import FRAMEWORK_CODES, RULE_CLASSES
+from .graph import DEFAULT_CACHE_PATH
+from .reporters import render_json, render_sarif, render_text
+from .rules import FRAMEWORK_CODES, GRAPH_RULE_CLASSES, RULE_CLASSES
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
 
@@ -45,17 +55,70 @@ def _print_rule_catalog():
         (cls.code, cls.name, cls.summary, ",".join(cls.scopes))
         for cls in RULE_CLASSES
     ]
+    rows.extend(
+        (cls.code, cls.name, cls.summary + " [graph]", ",".join(cls.scopes))
+        for cls in GRAPH_RULE_CLASSES
+    )
     rows.extend(FRAMEWORK_CODES)
+    rows.sort()
     width = max(len(row[1]) for row in rows)
     for code, name, summary, scopes in rows:
         print("%s  %-*s  %s  [%s]" % (code, width, name, summary, scopes))
 
 
+def _sarif_catalog():
+    classes = tuple(RULE_CLASSES) + tuple(GRAPH_RULE_CLASSES)
+    catalog = [(cls.code, cls.name, cls.summary) for cls in classes]
+    catalog.extend((code, name, summary) for code, name, summary, _ in FRAMEWORK_CODES)
+    return catalog
+
+
+def _git_lines(cmd):
+    completed = subprocess.run(
+        cmd, capture_output=True, text=True, check=True
+    )
+    return [line.strip() for line in completed.stdout.splitlines() if line.strip()]
+
+
+def _changed_only_paths(base_ref, requested):
+    """Narrow ``requested`` to python files changed since ``base_ref``.
+
+    Changed = differing from the base ref, staged or not, plus
+    untracked files.  Returns ``None`` when git is unavailable or the
+    ref does not resolve (callers fall back to a full run: a broken
+    pre-commit narrowing must widen, never silently skip).
+    """
+    try:
+        names = set(_git_lines(["git", "diff", "--name-only", base_ref, "--"]))
+        names.update(
+            _git_lines(["git", "ls-files", "--others", "--exclude-standard"])
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        print(
+            "patlint: --changed-only could not diff against %r (%s); "
+            "falling back to a full run" % (base_ref, detail.strip()),
+            file=sys.stderr,
+        )
+        return None
+    wanted = []
+    requested_abs = [os.path.abspath(path) for path in requested]
+    for name in sorted(names):
+        if not name.endswith(".py") or not os.path.isfile(name):
+            continue
+        absolute = os.path.abspath(name)
+        for base in requested_abs:
+            if absolute == base or absolute.startswith(base + os.sep):
+                wanted.append(name)
+                break
+    return wanted
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m tools.analysis",
-        description="patlint: determinism & fault-path static analysis "
-        "for the PA-Tree reproduction.",
+        description="patlint: determinism, fault-path & whole-program "
+        "architecture static analysis for the PA-Tree reproduction.",
     )
     parser.add_argument(
         "paths",
@@ -65,9 +128,42 @@ def build_parser():
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="enable the whole-program (PA5xx) rules: layer map, nvme "
+        "boundary, import cycles, wall-clock taint, latch discipline, "
+        "hook contract",
+    )
+    parser.add_argument(
+        "--graph-cache",
+        default=DEFAULT_CACHE_PATH,
+        metavar="FILE",
+        help="phase-1 graph cache location (default: %s)" % DEFAULT_CACHE_PATH,
+    )
+    parser.add_argument(
+        "--no-graph-cache",
+        action="store_true",
+        help="build the project graph from scratch, touching no cache file",
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE_REF",
+        help="analyze only python files changed relative to BASE_REF "
+        "(default HEAD when the flag is given bare); intended for "
+        "pre-commit",
     )
     parser.add_argument(
         "--baseline",
@@ -104,14 +200,58 @@ def build_parser():
     return parser
 
 
+def _render(args, new, grandfathered, files):
+    out = None
+    handle = None
+    if args.output:
+        handle = open(args.output, "w", encoding="utf-8")
+        out = handle
+    try:
+        if args.format == "json":
+            render_json(new, grandfathered, files, out=out)
+        elif args.format == "sarif":
+            render_sarif(
+                new,
+                grandfathered,
+                files,
+                out=out,
+                rule_catalog=_sarif_catalog(),
+                version=__version__,
+            )
+        else:
+            render_text(new, grandfathered, files, out=out)
+    finally:
+        if handle is not None:
+            handle.close()
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.list_rules:
         _print_rule_catalog()
         return 0
     paths = list(args.paths) or list(DEFAULT_PATHS)
+    run_graph = args.graph
+    if args.changed_only is not None:
+        if run_graph:
+            # the PA5xx rules reason about the whole module set; running
+            # them over a git-diff slice fabricates unmapped modules and
+            # phantom cycles, so the narrowed mode is per-file only
+            print(
+                "patlint: --graph needs the whole program; skipping the "
+                "PA5xx phase under --changed-only",
+                file=sys.stderr,
+            )
+            run_graph = False
+        narrowed = _changed_only_paths(args.changed_only, paths)
+        if narrowed is not None:
+            if not narrowed:
+                _render(args, [], [], 0)
+                return 0
+            paths = narrowed
     compiled_ok = True if args.no_compile else _byte_compile(paths)
-    result = analyze(paths)
+    graph_cache = None if args.no_graph_cache else args.graph_cache
+    result = analyze(paths, graph=run_graph, graph_cache=graph_cache)
     findings = result.findings
     if args.select:
         prefixes = tuple(
@@ -134,8 +274,5 @@ def main(argv=None):
     else:
         document = baseline_module.load(args.baseline)
     new, grandfathered = baseline_module.partition(findings, document)
-    if args.format == "json":
-        render_json(new, grandfathered, result.files)
-    else:
-        render_text(new, grandfathered, result.files)
+    _render(args, new, grandfathered, result.files)
     return 1 if (new or not compiled_ok) else 0

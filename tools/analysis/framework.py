@@ -46,6 +46,53 @@ _SCOPE_MARKERS = ("src", "tests", "benchmarks", "tools")
 _SUPPRESS_RE = re.compile(r"#\s*patlint:\s*ignore\[([A-Za-z0-9_,\s]*)\]")
 _PRAGMA_RE = re.compile(r"#\s*patlint:")
 
+_ROOT_MARKERS = ("pyproject.toml", ".git", "setup.py")
+
+
+_ROOT_CACHE = {}
+
+
+def find_repo_root(start):
+    """Nearest ancestor of ``start`` that looks like a repo root."""
+    current = start if os.path.isdir(start) else os.path.dirname(start)
+    current = os.path.abspath(current)
+    if current in _ROOT_CACHE:
+        return _ROOT_CACHE[current]
+    first = current
+    while True:
+        if current in _ROOT_CACHE:
+            _ROOT_CACHE[first] = _ROOT_CACHE[current]
+            return _ROOT_CACHE[current]
+        if any(
+            os.path.exists(os.path.join(current, marker))
+            for marker in _ROOT_MARKERS
+        ):
+            _ROOT_CACHE[first] = current
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            _ROOT_CACHE[first] = None
+            return None
+        current = parent
+
+
+def canonical_path(path):
+    """Repo-relative POSIX form of ``path``.
+
+    Findings, baseline entries and the SARIF report all key on this
+    form, so a run from outside the repo root produces the same
+    ``src/repro/...`` keys CI produces from the root.  Paths that do
+    not live under a recognizable repo root (fixture files in a tmp
+    dir) fall back to their absolute POSIX form.
+    """
+    absolute = os.path.abspath(path)
+    root = find_repo_root(absolute)
+    if root is not None:
+        relative = os.path.relpath(absolute, root)
+        if not relative.startswith(".."):
+            return relative.replace(os.sep, "/")
+    return absolute.replace(os.sep, "/")
+
 
 def classify_path(path):
     """Map a file path onto one of :data:`ALL_SCOPES` by its segments."""
@@ -138,6 +185,27 @@ class Rule:
         return ()
 
 
+class GraphRule:
+    """Base class for whole-program (phase-2) rules.
+
+    Graph rules see the phase-1 :class:`~tools.analysis.graph.
+    ProjectGraph` plus every parsed :class:`FileContext` at once and
+    yield findings anywhere in the project.  They run only when the
+    analysis is invoked with ``--graph``; their findings pass through
+    the same per-line suppression and baseline machinery as per-file
+    findings.
+    """
+
+    code = "PA500"
+    name = "unnamed-graph"
+    summary = ""
+    scopes = ("src",)
+
+    def run(self, graph, contexts, config):
+        """Yield :class:`Finding` objects for the whole project."""
+        return ()
+
+
 class ProjectModel:
     """Facts about the analyzed tree that rules consult."""
 
@@ -209,7 +277,7 @@ class FileContext:
     """Everything rules need to know about one parsed file."""
 
     def __init__(self, path, source, tree):
-        self.path = path.replace(os.sep, "/")
+        self.path = canonical_path(path)
         self.scope = classify_path(path)
         self.source = source
         self.lines = source.splitlines()
@@ -304,14 +372,15 @@ def iter_py_files(paths):
 class Result:
     """Outcome of one analysis run."""
 
-    __slots__ = ("findings", "files")
+    __slots__ = ("findings", "files", "graph")
 
-    def __init__(self, findings, files):
+    def __init__(self, findings, files, graph=None):
         self.findings = findings
         self.files = files
+        self.graph = graph
 
 
-def run_rules(ctx, rules):
+def run_rules_raw(ctx, rules):
     """Run every scope-applicable rule over one file's AST, once."""
     active = [rule for rule in rules if ctx.scope in rule.scopes]
     dispatch = {}
@@ -325,7 +394,12 @@ def run_rules(ctx, rules):
                 raw.extend(rule.visit(node, ctx))
     for rule in active:
         raw.extend(rule.end_file(ctx))
-    return apply_suppressions(ctx, raw)
+    return raw
+
+
+def run_rules(ctx, rules):
+    """Per-file rules plus suppression filtering, for one file."""
+    return apply_suppressions(ctx, run_rules_raw(ctx, rules))
 
 
 def apply_suppressions(ctx, raw):
@@ -367,8 +441,15 @@ def apply_suppressions(ctx, raw):
     return kept
 
 
-def analyze_paths(paths, rules):
-    """Analyze every ``.py`` file under ``paths`` with ``rules``."""
+def analyze_paths(paths, rules, graph_rules=None, config=None, graph_cache=None):
+    """Analyze every ``.py`` file under ``paths``.
+
+    ``rules`` are the per-file (single-AST-walk) rules.  When
+    ``graph_rules`` is non-empty, phase 1 builds the cached project
+    graph over the parsed contexts and phase 2 runs each graph rule
+    against it; graph findings are routed through the owning file's
+    suppression pragmas before the shared sort.
+    """
     contexts = []
     findings = []
     files = 0
@@ -379,7 +460,7 @@ def analyze_paths(paths, rules):
         except SyntaxError as exc:
             findings.append(
                 Finding(
-                    path,
+                    canonical_path(path),
                     exc.lineno or 1,
                     max((exc.offset or 1) - 1, 0),
                     "PA902",
@@ -387,8 +468,28 @@ def analyze_paths(paths, rules):
                 )
             )
     model = build_model(contexts)
+    raw_by_path = {}
     for ctx in contexts:
         ctx.model = model
-        findings.extend(run_rules(ctx, rules))
+        raw_by_path[ctx.path] = run_rules_raw(ctx, rules)
+    graph = None
+    if graph_rules:
+        from .graph import build_project_graph
+        from .projconf import default_config
+
+        config = config or default_config()
+        graph = build_project_graph(contexts, config, graph_cache)
+        by_path = {ctx.path: ctx for ctx in contexts}
+        for rule in graph_rules:
+            for finding in rule.run(graph, contexts, config):
+                ctx = by_path.get(finding.path)
+                if ctx is not None and ctx.scope not in rule.scopes:
+                    continue
+                if finding.path in raw_by_path:
+                    raw_by_path[finding.path].append(finding)
+                else:
+                    findings.append(finding)
+    for ctx in contexts:
+        findings.extend(apply_suppressions(ctx, raw_by_path[ctx.path]))
     findings.sort(key=Finding.sort_key)
-    return Result(findings, files)
+    return Result(findings, files, graph)

@@ -1,4 +1,4 @@
-"""Text and JSON reporters for patlint findings."""
+"""Text, JSON and SARIF reporters for patlint findings."""
 
 import json
 import sys
@@ -47,6 +47,86 @@ def render_json(new, grandfathered, files, out=None):
             for finding in sorted(
                 list(new) + list(grandfathered), key=lambda f: f.sort_key()
             )
+        ],
+    }
+    json.dump(document, out, indent=2)
+    out.write("\n")
+
+
+def render_sarif(new, grandfathered, files, out=None, rule_catalog=(), version=""):
+    """SARIF 2.1.0, the shape GitHub code scanning ingests.
+
+    Baselined findings are included with ``baselineState: "unchanged"``
+    so code scanning shows them as pre-existing rather than new; fresh
+    findings carry ``baselineState: "new"`` and error level.  Finding
+    paths are repo-relative POSIX (see ``canonical_path``), which is
+    exactly what ``uriBaseId: SRCROOT`` wants.
+    """
+    out = out if out is not None else sys.stdout
+    rules = {
+        code: {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": summary or name},
+        }
+        for code, name, summary in rule_catalog
+    }
+    results = []
+    for finding, state in [(f, "new") for f in new] + [
+        (f, "unchanged") for f in grandfathered
+    ]:
+        rules.setdefault(
+            finding.code,
+            {
+                "id": finding.code,
+                "name": finding.code,
+                "shortDescription": {"text": finding.code},
+            },
+        )
+        results.append(
+            {
+                "ruleId": finding.code,
+                "level": "error" if state == "new" else "note",
+                "baselineState": state,
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    results.sort(
+        key=lambda r: (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+            r["ruleId"],
+        )
+    )
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "patlint",
+                        "version": version or "0",
+                        "rules": [rules[code] for code in sorted(rules)],
+                    }
+                },
+                "results": results,
+                "properties": {"files": files},
+            }
         ],
     }
     json.dump(document, out, indent=2)

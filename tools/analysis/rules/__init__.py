@@ -1,9 +1,11 @@
 """Rule registry.
 
-Every concrete rule class is listed in :data:`RULE_CLASSES`;
-:func:`all_rules` hands fresh instances to the framework so state never
-leaks between analysis runs.  ``PA9xx`` codes are emitted by the
-framework itself (stale suppressions, parse failures) and are listed in
+Every concrete per-file rule class is listed in :data:`RULE_CLASSES`
+and every whole-program (phase-2) rule class in
+:data:`GRAPH_RULE_CLASSES`; :func:`all_rules` / :func:`all_graph_rules`
+hand fresh instances to the framework so state never leaks between
+analysis runs.  ``PA9xx`` codes are emitted by the framework itself
+(stale suppressions, parse failures) and are listed in
 :data:`FRAMEWORK_CODES` so ``--list-rules`` shows the full catalog.
 """
 
@@ -25,6 +27,14 @@ from .backend_boundary import DirectDeviceConstructionRule
 from .batching import PerElementBatchLoopRule
 from .fuzzing import FuzzRngDisciplineRule, HookNullDefaultRule
 from .observability import ConsoleOutputRule, MetricNameRule
+from .layering import BoundaryImportRule, ImportCycleRule, LayeringRule
+from .taint import (
+    WallClockBlessingRule,
+    WallClockFlowRule,
+    WallClockSourceRule,
+)
+from .latches import LatchExceptionRule, LatchPairingRule
+from .hooks_contract import HookContractRule
 
 RULE_CLASSES = (
     WallClockRule,
@@ -48,6 +58,19 @@ RULE_CLASSES = (
     HookNullDefaultRule,
 )
 
+#: Whole-program rules; run only under ``--graph`` (phase 2).
+GRAPH_RULE_CLASSES = (
+    LayeringRule,
+    BoundaryImportRule,
+    ImportCycleRule,
+    WallClockSourceRule,
+    WallClockFlowRule,
+    WallClockBlessingRule,
+    LatchPairingRule,
+    LatchExceptionRule,
+    HookContractRule,
+)
+
 #: Codes minted by the framework rather than by a rule class.
 FRAMEWORK_CODES = (
     ("PA901", "stale-suppression", "patlint pragma that silences nothing", "all"),
@@ -58,3 +81,8 @@ FRAMEWORK_CODES = (
 def all_rules():
     """Fresh rule instances for one analysis run."""
     return [cls() for cls in RULE_CLASSES]
+
+
+def all_graph_rules():
+    """Fresh graph-rule instances for one analysis run."""
+    return [cls() for cls in GRAPH_RULE_CLASSES]

@@ -1,0 +1,245 @@
+"""PA530: null-default hook contract (graph rule).
+
+The simulator's observability and exploration hooks are all null-default
+attributes (``self.on_dispatch = None``) consulted behind the guard
+pattern::
+
+    if self.on_dispatch is not None:
+        self.on_dispatch(op)
+
+or the early-return flavour::
+
+    if self.on_dispatch is None:
+        return
+    self.on_dispatch(op)
+
+PA530 enforces two halves of that contract over the whole project:
+
+* a call to a registered hook name (``layers.toml`` ``[hooks].names``)
+  must sit behind one of the guard shapes — an unguarded consult crashes
+  on the default configuration, the one every test runs;
+* a null-default ``on_*`` / ``perturb_*`` attribute that is consulted
+  anywhere but missing from the registry is drift: new hooks must be
+  added to ``layers.toml`` so the guard rule covers them.
+
+Receivers listed in ``always_bound_receivers`` (``io_history`` et al)
+are plain collaborators whose method names happen to collide with hook
+names; they are exempt from the guard requirement.
+"""
+
+import ast
+import re
+
+from ..framework import GraphRule
+from ..graph import module_name_for
+
+#: attribute shapes that look like a null-default hook slot
+_HOOKISH_RE = re.compile(r"^(on_[a-z0-9_]+|perturb_[a-z0-9_]+)$")
+
+
+def _receiver_parts(node):
+    """['self', 'io_history'] for ``self.io_history.on_submit``."""
+    parts = []
+    node = node.value if isinstance(node, ast.Attribute) else node
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _mentions_hook(test, hook):
+    """Does a guard test consult ``<...>.hook`` (or a plain ``hook``)?
+
+    Accepts both the truthiness form (``if self.hook:``) and the
+    identity form (``if self.hook is not None:``); the surrounding
+    structure decides whether the guard actually dominates the call.
+    """
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == hook:
+            return True
+        if isinstance(node, ast.Name) and node.id == hook:
+            return True
+    return False
+
+
+def _is_none_check(test, hook, negated):
+    """``<...>.hook is None`` (negated=False) / ``is not None`` (True)."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    op = test.ops[0]
+    wanted = ast.IsNot if negated else ast.Is
+    if not isinstance(op, wanted):
+        return False
+    sides = [test.left, test.comparators[0]]
+    has_none = any(
+        isinstance(side, ast.Constant) and side.value is None for side in sides
+    )
+    return has_none and any(_mentions_hook(side, hook) for side in sides)
+
+
+class HookContractRule(GraphRule):
+    """PA530: unguarded hook consult / unregistered hook drift."""
+
+    code = "PA530"
+    name = "hook-contract"
+    summary = "null-default hook consulted without a guard, or unregistered"
+    scopes = ("src",)
+
+    def run(self, graph, contexts, config):
+        project_contexts = [
+            ctx for ctx in contexts if module_name_for(ctx.path) is not None
+        ]
+        #: hook-shaped attr names consulted anywhere in the project
+        consulted = set()
+        for ctx in project_contexts:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    consulted.add(node.func.attr)
+
+        for ctx in project_contexts:
+            yield from self._check_guards(ctx, config)
+            yield from self._check_drift(ctx, config, consulted)
+
+    # -- half 1: registered hooks must be guarded ----------------------
+
+    def _check_guards(self, ctx, config):
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in config.hook_names
+            ):
+                continue
+            receiver = _receiver_parts(node.func)
+            if receiver and receiver[-1] in config.always_bound_receivers:
+                continue
+            hook = node.func.attr
+            if self._guarded(ctx, node, hook):
+                continue
+            yield ctx.finding(
+                node,
+                self.code,
+                "hook %s is null by default; consult it behind "
+                "'if %s is not None:' (every registered hook in "
+                "layers.toml [hooks] must keep the guard pattern)"
+                % (hook, _dotted_text(node.func)),
+            )
+
+    def _guarded(self, ctx, call, hook):
+        """Ancestor guard, boolean-op guard, ternary, early return, or
+        the else-branch of an ``is None`` dispatch."""
+        node = call
+        while True:
+            parent = ctx.parent(node)
+            if parent is None:
+                return False
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return self._early_return_guard(parent, call, hook)
+            if isinstance(parent, (ast.If, ast.While)) and node is not parent.test:
+                in_else = any(n is node for n in getattr(parent, "orelse", ()))
+                if not in_else and _positive_guard(parent.test, hook):
+                    return True
+                # `if self.hook is None: ... else: self.hook(...)` — the
+                # else branch implies the hook is bound, including the
+                # or-chain form `if self.hook is None or shortcut():`
+                if in_else and _negative_guard(parent.test, hook):
+                    return True
+            if isinstance(parent, ast.IfExp):
+                if node is parent.body and _positive_guard(parent.test, hook):
+                    return True
+                if node is parent.orelse and _negative_guard(parent.test, hook):
+                    return True
+            if isinstance(parent, ast.BoolOp) and isinstance(parent.op, ast.And):
+                for value in parent.values:
+                    if value is node or any(
+                        sub is node for sub in ast.walk(value)
+                    ):
+                        break
+                    if _positive_guard(value, hook):
+                        return True
+            node = parent
+
+    def _early_return_guard(self, funcdef, call, hook):
+        """``if self.hook is None: return`` before the call, at body level."""
+        for stmt in funcdef.body:
+            if getattr(stmt, "lineno", 0) >= call.lineno:
+                return False
+            if (
+                isinstance(stmt, ast.If)
+                and _negative_guard(stmt.test, hook)
+                and stmt.body
+                and all(
+                    isinstance(sub, (ast.Return, ast.Raise, ast.Continue))
+                    for sub in stmt.body
+                )
+                and not stmt.orelse
+            ):
+                return True
+        return False
+
+    # -- half 2: consulted null-default attrs must be registered -------
+
+    def _check_drift(self, ctx, config, consulted):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (
+                isinstance(node.value, ast.Constant)
+                and node.value.value is None
+            ):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                name = target.attr
+                if not _HOOKISH_RE.match(name):
+                    continue
+                if name in config.hook_names:
+                    continue
+                if name not in consulted:
+                    continue
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "%s looks like a null-default hook and is consulted "
+                    "in the project but is not registered in layers.toml "
+                    "[hooks].names; register it so the guard contract "
+                    "covers it" % name,
+                )
+
+
+def _positive_guard(test, hook):
+    """Test that implies the hook is bound when it evaluates truthy."""
+    if _is_none_check(test, hook, negated=True):
+        return True
+    # truthiness guard: the bare attribute / name, possibly and-ed
+    if isinstance(test, (ast.Attribute, ast.Name)):
+        return _mentions_hook(test, hook)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_positive_guard(value, hook) for value in test.values)
+    return False
+
+
+def _negative_guard(test, hook):
+    """Test that implies the hook is bound when it evaluates *falsy*.
+
+    ``self.hook is None`` and the short-circuit dispatch form
+    ``self.hook is None or cheap_default()`` both qualify: when the
+    whole test is false, every or-term is false, so the hook is bound.
+    """
+    if _is_none_check(test, hook, negated=False):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        return any(_negative_guard(value, hook) for value in test.values)
+    return False
+
+
+def _dotted_text(func):
+    try:
+        return ast.unparse(func)
+    except Exception:
+        return func.attr

@@ -1,0 +1,149 @@
+"""PA510-PA512: wall-clock taint (graph rules).
+
+The simulation's determinism guarantee means wall-clock and raw-I/O
+values must never reach virtual-time state.  ``repro.backend.file`` is
+the one deliberate exception — the FileBackend measures real syscalls
+and quantizes the durations into virtual service times — so the taint
+analysis treats the modules blessed in ``layers.toml`` as sanitizers
+and everything else as forbidden territory:
+
+* **PA510** — a direct wall-clock / raw-I/O source call in a module
+  that is not blessed (catches ``os.pread`` and friends that the
+  per-file PA101 never covered, and pragma-suppressed PA101 sites in
+  modules that have no business touching the clock);
+* **PA511** — interprocedural flow: a virtual-time sink (``engine.
+  schedule``, ``Sleep``, ``Cpu``, ``ChargeEff``) fed by a value that
+  traces back to a source through the call graph with no blessed
+  module in between;
+* **PA512** — blessing drift: ``wall_clock_variant = True`` declared
+  in a module that ``layers.toml`` does not bless, or a blessed module
+  that no longer declares it.
+"""
+
+from ..dataflow import SOURCE_ATOM, _resolve_atom, taint_fixpoint
+from ..framework import Finding, GraphRule
+
+
+class WallClockSourceRule(GraphRule):
+    """PA510: source call outside the blessed sanitizer modules."""
+
+    code = "PA510"
+    name = "wall-clock-source"
+    summary = "wall-clock/raw-I/O source call outside a blessed module"
+    scopes = ("src",)
+
+    def run(self, graph, contexts, config):
+        lines = {ctx.path: ctx for ctx in contexts}
+        for module in sorted(graph.modules):
+            if config.is_blessed(module):
+                continue
+            entry = graph.modules[module]
+            for summary in entry.functions.values():
+                for lineno, col, dotted in summary.source_calls:
+                    finding = Finding(
+                        entry.path,
+                        lineno,
+                        col,
+                        self.code,
+                        "call to %s in %s: wall-clock/raw-I/O sources are "
+                        "legal only in the blessed wall_clock_variant "
+                        "modules (%s); route this through repro.backend.file "
+                        "or take time from the virtual clock"
+                        % (dotted, module, ", ".join(config.blessed_modules)),
+                    )
+                    finding.line_text = _line_text(lines, entry.path, lineno)
+                    yield finding
+
+
+class WallClockFlowRule(GraphRule):
+    """PA511: tainted value reaches a virtual-time sink."""
+
+    code = "PA511"
+    name = "wall-clock-flow"
+    summary = "wall-clock taint flows into a virtual-time sink"
+    scopes = ("src",)
+
+    def run(self, graph, contexts, config):
+        lines = {ctx.path: ctx for ctx in contexts}
+        tainted, functions_by_key = taint_fixpoint(graph, config)
+        modules = set(graph.modules)
+        for module in sorted(graph.modules):
+            if config.is_blessed(module):
+                continue
+            entry = graph.modules[module]
+            for qualname in sorted(entry.functions):
+                summary = entry.functions[qualname]
+                for site in summary.sink_sites:
+                    culprit = None
+                    for atom in site["atoms"]:
+                        if atom == SOURCE_ATOM:
+                            culprit = "a direct wall-clock source call"
+                            break
+                        resolved = _resolve_atom(
+                            atom, functions_by_key, modules
+                        )
+                        if resolved is not None and resolved in tainted:
+                            culprit = "%s (wall-clock tainted)" % resolved
+                            break
+                    if culprit is None:
+                        continue
+                    finding = Finding(
+                        entry.path,
+                        site["lineno"],
+                        site["col"],
+                        self.code,
+                        "virtual-time sink %s(...) in %s.%s is fed by %s; "
+                        "only values sanitized by a blessed "
+                        "wall_clock_variant module may enter virtual time"
+                        % (site["sink"], module, qualname, culprit),
+                    )
+                    finding.line_text = _line_text(
+                        lines, entry.path, site["lineno"]
+                    )
+                    yield finding
+
+
+class WallClockBlessingRule(GraphRule):
+    """PA512: wall_clock_variant declaration vs layers.toml drift."""
+
+    code = "PA512"
+    name = "wall-clock-blessing"
+    summary = "wall_clock_variant declaration out of sync with layers.toml"
+    scopes = ("src",)
+
+    def run(self, graph, contexts, config):
+        lines = {ctx.path: ctx for ctx in contexts}
+        for module in sorted(graph.modules):
+            entry = graph.modules[module]
+            declared = entry.wall_clock_decl is not None
+            blessed = config.is_blessed(module)
+            if declared and not blessed:
+                finding = Finding(
+                    entry.path,
+                    entry.wall_clock_decl,
+                    0,
+                    self.code,
+                    "%s declares wall_clock_variant = True but is not "
+                    "blessed in layers.toml [wall_clock]; add it there so "
+                    "the sanitizer set stays centrally reviewed" % module,
+                )
+                finding.line_text = _line_text(
+                    lines, entry.path, entry.wall_clock_decl
+                )
+                yield finding
+            elif blessed and not declared:
+                yield Finding(
+                    entry.path,
+                    1,
+                    0,
+                    self.code,
+                    "%s is blessed in layers.toml [wall_clock] but declares "
+                    "no wall_clock_variant = True; either declare it or "
+                    "drop the blessing" % module,
+                    _line_text(lines, entry.path, 1),
+                )
+
+
+def _line_text(contexts_by_path, path, lineno):
+    ctx = contexts_by_path.get(path)
+    return ctx.line_text(lineno) if ctx is not None else ""

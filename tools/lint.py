@@ -1,15 +1,16 @@
 #!/usr/bin/env python
 """Back-compat shim over ``tools.analysis`` (patlint).
 
-The three ad-hoc rules that used to live here — unused imports, bare
-``except:`` in ``src/``, string-literal ``.status`` compares — are now
-``PA402`` / ``PA301`` / ``PA302`` in the patlint framework, which adds
-stable rule codes, inline suppressions, a baseline file and JSON
-output.  This shim keeps the old entry point working::
+DEPRECATED: call ``python -m tools.analysis`` directly; it adds
+``--graph`` (whole-program PA5xx rules), ``--format sarif``,
+``--changed-only`` and the baseline workflow.  This shim remains only
+so old scripts keep working::
 
-    python tools/lint.py [paths...]     # defaults to src tests benchmarks
+    python tools/lint.py [paths...]          # defaults to src tests benchmarks
+    python tools/lint.py --json [paths...]   # forwards to --format json
 
-Prefer ``python -m tools.analysis`` for new invocations.
+Exit codes are patlint's own (0 clean, 1 findings or compile failure,
+2 usage error), unchanged from the historical behaviour.
 """
 
 import os
@@ -23,8 +24,18 @@ def main(argv=None):
         sys.path.insert(0, _REPO_ROOT)
     from tools.analysis.cli import main as patlint_main
 
-    paths = list(argv if argv is not None else sys.argv[1:])
-    return patlint_main(paths + ["--format", "text"])
+    args = list(argv if argv is not None else sys.argv[1:])
+    if "--json" in args:
+        args = [arg for arg in args if arg != "--json"]
+        args += ["--format", "json"]
+    elif "--format" not in args:
+        args += ["--format", "text"]
+    print(
+        "tools/lint.py is deprecated; use 'python -m tools.analysis' "
+        "(see --help for --graph, --format sarif, --changed-only)",
+        file=sys.stderr,
+    )
+    return patlint_main(args)
 
 
 if __name__ == "__main__":
